@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig 1 reproduction: the motivating result.  Input-oblivious batch
+ * reordering speeds up wiki's updates but *degrades* uk's; input-aware
+ * software (ABR) recovers uk, and the hardware mode (HAU) pushes it past
+ * the baseline.
+ *
+ * Paper values at batch size 100K: (a) wiki RO 2.7x, (b) uk RO 0.69x,
+ * (c) uk input-aware SW 0.92x, (d) uk input-aware SW+HW 1.6x.
+ */
+#include "bench_support.h"
+
+int
+main()
+{
+    using namespace igs;
+    using bench::Algo;
+    using core::UpdatePolicy;
+
+    bench::banner("Fig 1: motivation — input-oblivious RO vs input-aware "
+                  "SW/HW",
+                  "Fig 1 (wiki 2.7x / uk 0.69x -> 0.92x -> 1.6x)",
+                  "update-phase speedups at batch size 100K");
+
+    const std::size_t batch = 100000;
+    const std::size_t nb = bench::batches_for(batch);
+
+    TextTable t({"bar", "dataset", "configuration", "update speedup",
+                 "paper"});
+    {
+        const auto& wiki = gen::find_dataset("wiki");
+        const auto base = bench::run_stream(wiki, batch, nb,
+                                            UpdatePolicy::kBaseline,
+                                            Algo::kNone);
+        const auto ro = bench::run_stream(wiki, batch, nb,
+                                          UpdatePolicy::kAlwaysReorder,
+                                          Algo::kNone);
+        t.row().cell(std::string("(a)")).cell(std::string("wiki"))
+            .cell(std::string("input-oblivious RO"))
+            .cell(bench::speedup(base, ro))
+            .cell(std::string("2.7x"));
+    }
+    {
+        const auto& uk = gen::find_dataset("uk");
+        const auto base = bench::run_stream(uk, batch, nb,
+                                            UpdatePolicy::kBaseline,
+                                            Algo::kNone);
+        const auto ro = bench::run_stream(uk, batch, nb,
+                                          UpdatePolicy::kAlwaysReorder,
+                                          Algo::kNone);
+        const auto abr = bench::run_stream(uk, batch, nb,
+                                           UpdatePolicy::kAbrUsc,
+                                           Algo::kNone);
+        const auto full = bench::run_stream(uk, batch, nb,
+                                            UpdatePolicy::kAbrUscHau,
+                                            Algo::kNone);
+        t.row().cell(std::string("(b)")).cell(std::string("uk"))
+            .cell(std::string("input-oblivious RO"))
+            .cell(bench::speedup(base, ro))
+            .cell(std::string("0.69x"));
+        t.row().cell(std::string("(c)")).cell(std::string("uk"))
+            .cell(std::string("input-aware SW (ABR)"))
+            .cell(bench::speedup(base, abr))
+            .cell(std::string("0.92x"));
+        t.row().cell(std::string("(d)")).cell(std::string("uk"))
+            .cell(std::string("input-aware SW + HW (ABR+HAU)"))
+            .cell(bench::speedup(base, full))
+            .cell(std::string("1.6x"));
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig 3 reproduction: the characterization study.  For all 14 datasets
+ * across the paper's five batch sizes, the effect of input-oblivious batch
+ * reordering on update and overall performance, with the batch's maximum
+ * in/out degree (the right-axis indicator metric).
+ *
+ * Expected shape (paper): topcats/talk/berkstan/yt/superuser/wiki gain up
+ * to ~3x at 100K/500K (talk/yt/wiki already at 10K); every dataset loses
+ * at 100/1K; lj/patents/fb/flickr/amazon/stack/friendster/uk lose at all
+ * batch sizes.
+ */
+#include "bench_support.h"
+
+#include "stream/batch.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace igs;
+    using bench::Algo;
+    using core::UpdatePolicy;
+
+    bench::banner("Fig 3: RO performance characterization",
+                  "Fig 3 (left axis: RO update & overall speedup; right "
+                  "axis: max in/out degree per batch)",
+                  "overall = update + incremental-PR compute");
+
+    std::vector<std::size_t> batch_sizes = gen::paper_batch_sizes();
+    if (argc > 1 && std::string(argv[1]) == "--quick") {
+        batch_sizes = {1000, 100000};
+    }
+
+    TextTable t({"dataset", "batch", "RO update x", "RO overall x",
+                 "max out-deg", "max in-deg", "class"});
+    for (const auto& ds : gen::registry()) {
+        for (std::size_t b : batch_sizes) {
+            const std::size_t nb = bench::batches_for(b);
+            const auto base = bench::run_stream(ds, b, nb,
+                                                UpdatePolicy::kBaseline,
+                                                Algo::kPageRank);
+            const auto ro = bench::run_stream(ds, b, nb,
+                                              UpdatePolicy::kAlwaysReorder,
+                                              Algo::kPageRank);
+            // Right axis: average over batches of the max batch degree.
+            auto genr = ds.make_generator();
+            double max_out = 0.0;
+            double max_in = 0.0;
+            for (std::size_t k = 0; k < nb; ++k) {
+                const auto stats =
+                    stream::compute_batch_degree_stats(genr.take(b));
+                max_out += stats.max_out_degree;
+                max_in += stats.max_in_degree;
+            }
+            const bool friendly =
+                ds.reorder_friendly && b >= ds.friendly_from_batch;
+            t.row()
+                .cell(ds.name)
+                .cell(static_cast<std::uint64_t>(b))
+                .cell(bench::speedup(base, ro))
+                .cell(bench::overall_speedup(base, ro))
+                .cell(max_out / static_cast<double>(nb), 0)
+                .cell(max_in / static_cast<double>(nb), 0)
+                .cell(std::string(friendly ? "friendly" : "adverse"));
+        }
+    }
+    t.print();
+    return 0;
+}

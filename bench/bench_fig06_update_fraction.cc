@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig 6 reproduction: total time spent in graph updates (percentage of
+ * overall, and absolute) for the baseline and always-RO configurations.
+ * Paper: geomean 19% (baseline) and 33% (RO) of total time is updates —
+ * RO inflates the update share because many workloads are
+ * reordering-adverse.
+ */
+#include "bench_support.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace igs;
+    using bench::Algo;
+    using core::UpdatePolicy;
+
+    bench::banner("Fig 6: update share of total time, baseline vs RO",
+                  "Fig 6 (geomean: baseline 19%, RO 33%)",
+                  "absolute times are simulated Mcycles on the Table-1 "
+                  "machine; compute = incremental PR");
+
+    std::vector<std::size_t> batch_sizes = gen::paper_batch_sizes();
+    if (argc > 1 && std::string(argv[1]) == "--quick") {
+        batch_sizes = {10000, 100000};
+    }
+
+    TextTable t({"dataset", "batch", "base upd %", "RO upd %",
+                 "base upd Mcyc", "RO upd Mcyc"});
+    std::vector<double> base_pcts;
+    std::vector<double> ro_pcts;
+    for (const auto& ds : gen::registry()) {
+        for (std::size_t b : batch_sizes) {
+            const std::size_t nb = bench::batches_for(b);
+            const auto base = bench::run_stream(ds, b, nb,
+                                                UpdatePolicy::kBaseline,
+                                                Algo::kPageRank);
+            const auto ro = bench::run_stream(ds, b, nb,
+                                              UpdatePolicy::kAlwaysReorder,
+                                              Algo::kPageRank);
+            const double bp = 100.0 *
+                              static_cast<double>(base.update_cycles) /
+                              static_cast<double>(base.overall_cycles());
+            const double rp = 100.0 *
+                              static_cast<double>(ro.update_cycles) /
+                              static_cast<double>(ro.overall_cycles());
+            base_pcts.push_back(bp);
+            ro_pcts.push_back(rp);
+            t.row()
+                .cell(ds.name)
+                .cell(static_cast<std::uint64_t>(b))
+                .cell(bp, 1)
+                .cell(rp, 1)
+                .cell(static_cast<double>(base.update_cycles) / 1e6, 2)
+                .cell(static_cast<double>(ro.update_cycles) / 1e6, 2);
+        }
+    }
+    t.print();
+    std::printf("\ngeomean update share: baseline %.1f%% (paper 19%%), "
+                "RO %.1f%% (paper 33%%)\n",
+                geomean(base_pcts), geomean(ro_pcts));
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Fig 13 reproduction (the paper's central software result): update and
+ * overall speedups of always-RO, ABR, perfect ABR, and ABR+USC over the
+ * non-reordered baseline, for all datasets and batch sizes, plus the
+ * inset-table geomeans.
+ *
+ * Paper inset (geomeans): reorder-friendly update RO 1.92x / ABR 1.85x /
+ * perfect 1.98x / ABR+USC 4.55x; reorder-adverse update RO 0.37x /
+ * ABR 0.87x / perfect 1.02x / ABR+USC 0.87x; friendly overall 1.77/1.71/
+ * 1.81/3.49; adverse overall 0.78/0.91/1.00/0.91.
+ */
+#include <algorithm>
+
+#include "bench_support.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace igs;
+    using bench::Algo;
+    using core::UpdatePolicy;
+
+    bench::banner("Fig 13: ABR and USC speedups over baseline",
+                  "Fig 13 + inset table (n=10, lambda=256, TH=465)",
+                  "perfect ABR = per-batch oracle picking the faster of "
+                  "baseline/RO with zero instrumentation overhead");
+
+    std::vector<std::size_t> batch_sizes = gen::paper_batch_sizes();
+    if (argc > 1 && std::string(argv[1]) == "--quick") {
+        batch_sizes = {1000, 100000};
+    }
+
+    struct Group {
+        std::vector<double> ro, abr, perfect, usc;
+        std::vector<double> ro_o, abr_o, perfect_o, usc_o;
+    };
+    Group friendly;
+    Group adverse;
+
+    TextTable t({"dataset", "batch", "RO upd", "ABR upd", "perfect upd",
+                 "ABR+USC upd", "RO ovl", "ABR ovl", "ABR+USC ovl",
+                 "class"});
+    for (const auto& ds : gen::registry()) {
+        for (std::size_t b : batch_sizes) {
+            const std::size_t nb = bench::batches_for(b);
+            const auto base = bench::run_stream(
+                ds, b, nb, UpdatePolicy::kBaseline, Algo::kPageRank);
+            const auto ro = bench::run_stream(
+                ds, b, nb, UpdatePolicy::kAlwaysReorder, Algo::kPageRank);
+            const auto abr = bench::run_stream(ds, b, nb,
+                                               UpdatePolicy::kAbr,
+                                               Algo::kPageRank);
+            const auto usc = bench::run_stream(ds, b, nb,
+                                               UpdatePolicy::kAbrUsc,
+                                               Algo::kPageRank);
+            // Perfect ABR: per-batch min of the two pure arms.
+            Cycles perfect_cycles = 0;
+            for (std::size_t k = 0; k < nb; ++k) {
+                perfect_cycles += std::min(
+                    base.batches[k].report.update.cycles,
+                    ro.batches[k].report.update.cycles);
+            }
+
+            const double sp_ro = bench::speedup(base, ro);
+            const double sp_abr = bench::speedup(base, abr);
+            const double sp_perfect =
+                static_cast<double>(base.update_cycles) /
+                static_cast<double>(perfect_cycles);
+            const double sp_usc = bench::speedup(base, usc);
+            const double so_ro = bench::overall_speedup(base, ro);
+            const double so_abr = bench::overall_speedup(base, abr);
+            const double so_perfect =
+                static_cast<double>(base.overall_cycles()) /
+                static_cast<double>(perfect_cycles + base.compute_cycles);
+            const double so_usc = bench::overall_speedup(base, usc);
+
+            const bool is_friendly =
+                ds.reorder_friendly && b >= ds.friendly_from_batch;
+            Group& g = is_friendly ? friendly : adverse;
+            g.ro.push_back(sp_ro);
+            g.abr.push_back(sp_abr);
+            g.perfect.push_back(sp_perfect);
+            g.usc.push_back(sp_usc);
+            g.ro_o.push_back(so_ro);
+            g.abr_o.push_back(so_abr);
+            g.perfect_o.push_back(so_perfect);
+            g.usc_o.push_back(so_usc);
+
+            t.row()
+                .cell(ds.name)
+                .cell(static_cast<std::uint64_t>(b))
+                .cell(sp_ro)
+                .cell(sp_abr)
+                .cell(sp_perfect)
+                .cell(sp_usc)
+                .cell(so_ro)
+                .cell(so_abr)
+                .cell(so_usc)
+                .cell(std::string(is_friendly ? "friendly" : "adverse"));
+        }
+    }
+    t.print();
+
+    std::printf("\nInset table (geomeans)          RO     ABR   perfect  "
+                "ABR+USC   (paper)\n");
+    auto line = [](const char* label, const std::vector<double>& a,
+                   const std::vector<double>& b,
+                   const std::vector<double>& c,
+                   const std::vector<double>& d, const char* paper) {
+        std::printf("%-28s %6.2f  %6.2f  %6.2f   %6.2f    %s\n", label,
+                    geomean(a), geomean(b), geomean(c), geomean(d), paper);
+    };
+    line("reorder-friendly update", friendly.ro, friendly.abr,
+         friendly.perfect, friendly.usc, "(1.92/1.85/1.98/4.55)");
+    line("reorder-adverse update", adverse.ro, adverse.abr, adverse.perfect,
+         adverse.usc, "(0.37/0.87/1.02/0.87)");
+    line("reorder-friendly overall", friendly.ro_o, friendly.abr_o,
+         friendly.perfect_o, friendly.usc_o, "(1.77/1.71/1.81/3.49)");
+    line("reorder-adverse overall", adverse.ro_o, adverse.abr_o,
+         adverse.perfect_o, adverse.usc_o, "(0.78/0.91/1.00/0.91)");
+    return 0;
+}

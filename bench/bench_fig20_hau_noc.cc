@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fig 20 reproduction: HAU's cache-access locality and NoC impact
+ * (uk @100K).
+ *
+ * Paper: 98-99% of accessed edge-data cachelines hit the local core tile;
+ * HAU eliminates the remote cache accesses the software baseline would
+ * incur; the average NoC packet latency rises by <10% from carrying the
+ * update-task traffic.
+ */
+#include "bench_support.h"
+
+#include "sim/noc.h"
+
+int
+main()
+{
+    using namespace igs;
+    using core::UpdatePolicy;
+
+    bench::banner("Fig 20: HAU locality and NoC impact (uk @100K)",
+                  "Fig 20 (98-99% local lines; <10% packet-latency "
+                  "increase)",
+                  "");
+
+    const auto& ds = gen::find_dataset("uk");
+    const std::size_t b = 100000;
+    const std::size_t nb = bench::batches_for(b);
+
+    core::EngineConfig cfg;
+    cfg.policy = UpdatePolicy::kAlwaysHau;
+    core::SimEngine engine(cfg, sim::MachineParams{}, sim::SwCostParams{},
+                           sim::HauCostParams{}, ds.model.num_vertices);
+    auto genr = ds.make_generator();
+    // Pre-seed stream history so hub adjacency arrays have accumulated
+    // (the paper measures at batch number 100, i.e. 10M edges in); the
+    // history is ingested functionally, outside the timed window.
+    for (const StreamEdge& e : genr.take(1500000)) {
+        if (!e.is_delete) {
+            engine.graph().ensure_vertices(
+                std::max<std::size_t>(std::max(e.src, e.dst) + 1,
+                                      engine.graph().num_vertices()));
+            engine.graph().apply_insert(e.src, {e.dst, e.weight},
+                                        Direction::kOut);
+            engine.graph().apply_insert(e.dst, {e.src, e.weight},
+                                        Direction::kIn);
+        }
+    }
+    std::vector<std::uint64_t> local(16, 0);
+    std::vector<std::uint64_t> total(16, 0);
+    for (std::uint64_t k = 1; k <= nb; ++k) {
+        stream::EdgeBatch batch;
+        batch.id = k;
+        batch.edges = genr.take(b);
+        engine.ingest(batch);
+        const auto& hau = engine.runner().last_hau_stats();
+        if (hau.has_value()) {
+            for (std::size_t c = 0; c < hau->per_core.size(); ++c) {
+                local[c] += hau->per_core[c].local_lines;
+                total[c] += hau->per_core[c].lines;
+            }
+        }
+    }
+
+    const auto& with_tasks =
+        engine.runner().hau().noc().core_stats(sim::PacketClass::kData);
+    const auto& data_only = engine.runner()
+                                .hau()
+                                .noc_without_tasks()
+                                .core_stats(sim::PacketClass::kData);
+
+    TextTable t({"core", "local lines %", "remote elimination %",
+                 "packet latency increase %"});
+    double worst_latency = 0.0;
+    for (std::size_t c = 1; c < 16; ++c) {
+        const double local_pct =
+            total[c] == 0 ? 100.0
+                          : 100.0 * static_cast<double>(local[c]) /
+                                static_cast<double>(total[c]);
+        // The software baseline spreads a vertex's updates over all 16
+        // cores: ~15/16 of its line transfers would cross tiles.  HAU's
+        // static vertex->core mapping removes them; what remains is the
+        // allocator-boundary residue.
+        const double sw_remote =
+            static_cast<double>(total[c]) * 15.0 / 16.0;
+        const double hau_remote =
+            static_cast<double>(total[c] - local[c]);
+        const double elim = sw_remote == 0.0
+                                ? 100.0
+                                : 100.0 * (1.0 - hau_remote / sw_remote);
+        double latency_increase = 0.0;
+        if (data_only[c].packets > 0 &&
+            data_only[c].average_latency() > 0.0) {
+            latency_increase =
+                100.0 * (with_tasks[c].average_latency() /
+                             data_only[c].average_latency() -
+                         1.0);
+        }
+        worst_latency = std::max(worst_latency, latency_increase);
+        t.row()
+            .cell(static_cast<std::uint64_t>(c))
+            .cell(local_pct, 2)
+            .cell(elim, 2)
+            .cell(latency_increase, 2);
+    }
+    t.print();
+    std::printf("\nworst-core packet-latency increase: %.2f%% (paper: "
+                "within 10%%)\n",
+                worst_latency);
+    return 0;
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction harnesses.
+ *
+ * Every bench binary replays registry dataset streams through the Table-1
+ * timing model and prints the paper's rows/series as aligned text tables.
+ * Workload sizes are scaled for a laptop run (see DESIGN.md); set
+ * IGS_BENCH_SCALE=<float> to multiply the per-configuration batch counts
+ * (e.g. 2 for a longer, lower-variance run, 0.5 for a smoke run).
+ */
+#ifndef IGS_BENCH_BENCH_SUPPORT_H
+#define IGS_BENCH_BENCH_SUPPORT_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analytics/compute_meter.h"
+#include "analytics/pagerank.h"
+#include "analytics/sssp.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/engine.h"
+#include "gen/datasets.h"
+#include "sim/update_runner.h"
+
+namespace igs::bench {
+
+/** Batch-count defaults per batch size, keeping total work laptop-sized. */
+inline std::size_t
+batches_for(std::size_t batch_size)
+{
+    double scale = 1.0;
+    if (const char* s = std::getenv("IGS_BENCH_SCALE")) {
+        scale = std::atof(s);
+        if (scale <= 0.0) {
+            scale = 1.0;
+        }
+    }
+    std::size_t n = 4;
+    if (batch_size <= 100) {
+        n = 20;
+    } else if (batch_size <= 1000) {
+        n = 16;
+    } else if (batch_size <= 10000) {
+        n = 8;
+    } else if (batch_size <= 100000) {
+        n = 4;
+    } else {
+        n = 2;
+    }
+    n = static_cast<std::size_t>(static_cast<double>(n) * scale);
+    return n < 2 ? 2 : n;
+}
+
+/** Per-batch record of one stream replay. */
+struct BatchRecord {
+    core::BatchReport report;
+    analytics::ComputeStats compute;
+    bool computed = false; // false when OCA deferred this batch's round
+};
+
+/** Totals of one replayed stream. */
+struct StreamResult {
+    std::vector<BatchRecord> batches;
+    Cycles update_cycles = 0;
+    Cycles compute_cycles = 0;
+
+    Cycles overall_cycles() const { return update_cycles + compute_cycles; }
+};
+
+/** Which incremental algorithm drives the compute phase. */
+enum class Algo { kPageRank, kSssp, kNone };
+
+inline const char*
+to_string(Algo a)
+{
+    switch (a) {
+      case Algo::kPageRank:
+        return "incremental-PR";
+      case Algo::kSssp:
+        return "incremental-SSSP";
+      case Algo::kNone:
+        return "update-only";
+    }
+    return "?";
+}
+
+/**
+ * Replay `num_batches` batches of `batch_size` edges of `ds` through an
+ * input-aware engine with the given policy, running the chosen incremental
+ * algorithm on each (possibly OCA-aggregated) snapshot.
+ */
+inline StreamResult
+run_stream(const gen::DatasetSpec& ds, std::size_t batch_size,
+           std::size_t num_batches, core::UpdatePolicy policy,
+           Algo algo = Algo::kPageRank, bool oca = false,
+           const core::AbrParams& abr = core::AbrParams{})
+{
+    core::EngineConfig cfg;
+    cfg.policy = policy;
+    cfg.abr = abr;
+    cfg.oca.enabled = oca;
+    core::SimEngine engine(cfg, sim::MachineParams{}, sim::SwCostParams{},
+                           sim::HauCostParams{}, ds.model.num_vertices);
+    analytics::IncrementalPageRank pr;
+    analytics::IncrementalSssp sssp(0);
+    auto genr = ds.make_generator();
+
+    StreamResult out;
+    const analytics::ComputeCostParams ccp;
+    for (std::uint64_t k = 1; k <= num_batches; ++k) {
+        stream::EdgeBatch batch;
+        batch.id = k;
+        batch.edges = genr.take(batch_size);
+        BatchRecord rec;
+        rec.report = engine.ingest(batch);
+        out.update_cycles += rec.report.update.cycles;
+        if (algo != Algo::kNone && engine.compute_due()) {
+            const auto work = engine.take_pending_work();
+            rec.computed = true;
+            switch (algo) {
+              case Algo::kPageRank:
+                rec.compute = pr.on_batch(engine.graph(), work.affected);
+                break;
+              case Algo::kSssp:
+                rec.compute = sssp.on_batch(engine.graph(), work.inserted,
+                                            work.deleted);
+                break;
+              case Algo::kNone:
+                break;
+            }
+            out.compute_cycles += rec.compute.cycles(ccp);
+        }
+        out.batches.push_back(std::move(rec));
+    }
+    return out;
+}
+
+/** Mean of update speedups vs a baseline result. */
+inline double
+speedup(const StreamResult& baseline, const StreamResult& variant)
+{
+    return static_cast<double>(baseline.update_cycles) /
+           static_cast<double>(variant.update_cycles);
+}
+
+inline double
+overall_speedup(const StreamResult& baseline, const StreamResult& variant)
+{
+    return static_cast<double>(baseline.overall_cycles()) /
+           static_cast<double>(variant.overall_cycles());
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char* experiment, const char* paper_ref, const char* note)
+{
+    std::printf("== %s ==\n", experiment);
+    std::printf("paper: %s\n", paper_ref);
+    if (note != nullptr && note[0] != '\0') {
+        std::printf("%s\n", note);
+    }
+    std::printf("\n");
+}
+
+} // namespace igs::bench
+
+#endif // IGS_BENCH_BENCH_SUPPORT_H

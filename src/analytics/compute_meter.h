@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Operation counting for the compute phase.
+ *
+ * The compute benches report modeled cycles derived from counted work:
+ * vertex activations, edge traversals, and compute rounds (one round = one
+ * scheduled computation over a snapshot — the unit OCA aggregates).  The
+ * per-round constant captures the scheduling and data-(re)access overhead
+ * the paper says OCA amortizes (§5).
+ */
+#ifndef IGS_ANALYTICS_COMPUTE_METER_H
+#define IGS_ANALYTICS_COMPUTE_METER_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace igs::analytics {
+
+/** Cycle costs of compute-phase operations on the Table-1 machine. */
+struct ComputeCostParams {
+    /** Process one activated vertex (state read/write, frontier ops). */
+    double per_vertex = 35.0;
+    /** Traverse one edge (neighbor state read). */
+    double per_edge = 7.0;
+    /** Launch one computation round: snapshotting, scheduling, warming the
+     *  affected region's data back into cache. */
+    double per_round = 60000.0;
+    /** Parallel efficiency of the compute phase on 16 workers. */
+    double workers = 16.0;
+};
+
+/** Counted compute work. */
+struct ComputeStats {
+    std::uint64_t activations = 0;
+    std::uint64_t traversals = 0;
+    std::uint64_t rounds = 0;
+    std::uint64_t iterations = 0;
+
+    ComputeStats&
+    operator+=(const ComputeStats& o)
+    {
+        activations += o.activations;
+        traversals += o.traversals;
+        rounds += o.rounds;
+        iterations += o.iterations;
+        return *this;
+    }
+
+    /** Modeled compute cycles under `p`. */
+    Cycles
+    cycles(const ComputeCostParams& p = ComputeCostParams{}) const
+    {
+        const double work = static_cast<double>(activations) * p.per_vertex +
+                            static_cast<double>(traversals) * p.per_edge;
+        return static_cast<Cycles>(work / p.workers +
+                                   static_cast<double>(rounds) * p.per_round);
+    }
+};
+
+/** Lightweight counter passed through the algorithms. */
+class ComputeMeter {
+  public:
+    void activate(std::uint64_t n = 1) { stats_.activations += n; }
+    void traverse(std::uint64_t n = 1) { stats_.traversals += n; }
+    void round() { ++stats_.rounds; }
+    void iteration() { ++stats_.iterations; }
+
+    const ComputeStats& stats() const { return stats_; }
+    void reset() { stats_ = ComputeStats{}; }
+
+  private:
+    ComputeStats stats_;
+};
+
+} // namespace igs::analytics
+
+#endif // IGS_ANALYTICS_COMPUTE_METER_H

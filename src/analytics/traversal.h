@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Extension algorithms: BFS (hop distance) and connected components
+ * (label propagation over the undirected view).  Not part of the paper's
+ * four evaluated algorithms; used by examples and as additional compute
+ * workloads.
+ */
+#ifndef IGS_ANALYTICS_TRAVERSAL_H
+#define IGS_ANALYTICS_TRAVERSAL_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "analytics/compute_meter.h"
+#include "common/check.h"
+#include "common/types.h"
+
+namespace igs::analytics {
+
+/** BFS hop distances from `source` over out-edges; unreachable = ~0u. */
+template <typename Graph>
+std::vector<std::uint32_t>
+bfs_distances(const Graph& g, VertexId source, ComputeMeter* meter = nullptr)
+{
+    const std::size_t n = g.num_vertices();
+    std::vector<std::uint32_t> dist(n, ~0u);
+    if (n == 0) {
+        return dist;
+    }
+    IGS_CHECK(source < n);
+    if (meter != nullptr) {
+        meter->round();
+    }
+    dist[source] = 0;
+    std::vector<VertexId> frontier{source};
+    while (!frontier.empty()) {
+        if (meter != nullptr) {
+            meter->iteration();
+        }
+        std::vector<VertexId> next;
+        for (VertexId v : frontier) {
+            if (meter != nullptr) {
+                meter->activate();
+            }
+            for (const Neighbor& e : g.edges(v, Direction::kOut)) {
+                if (meter != nullptr) {
+                    meter->traverse();
+                }
+                if (dist[e.id] == ~0u) {
+                    dist[e.id] = dist[v] + 1;
+                    next.push_back(e.id);
+                }
+            }
+        }
+        frontier.swap(next);
+    }
+    return dist;
+}
+
+/**
+ * Connected components over the undirected view (out- plus in-edges),
+ * by label propagation; returns the component label per vertex (the
+ * minimum vertex id in the component).
+ */
+template <typename Graph>
+std::vector<VertexId>
+connected_components(const Graph& g, ComputeMeter* meter = nullptr)
+{
+    const std::size_t n = g.num_vertices();
+    std::vector<VertexId> label(n);
+    for (VertexId v = 0; v < n; ++v) {
+        label[v] = v;
+    }
+    if (meter != nullptr) {
+        meter->round();
+    }
+    bool changed = true;
+    while (changed) {
+        if (meter != nullptr) {
+            meter->iteration();
+        }
+        changed = false;
+        for (VertexId v = 0; v < n; ++v) {
+            if (meter != nullptr) {
+                meter->activate();
+            }
+            VertexId best = label[v];
+            for (Direction dir : {Direction::kOut, Direction::kIn}) {
+                for (const Neighbor& e : g.edges(v, dir)) {
+                    if (meter != nullptr) {
+                        meter->traverse();
+                    }
+                    best = std::min(best, label[e.id]);
+                }
+            }
+            if (best < label[v]) {
+                label[v] = best;
+                changed = true;
+            }
+        }
+    }
+    return label;
+}
+
+} // namespace igs::analytics
+
+#endif // IGS_ANALYTICS_TRAVERSAL_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Lightweight run-time checking macros.
+ *
+ * IGS_CHECK is always on (used for user-facing argument validation, the
+ * "fatal" category); IGS_DCHECK compiles out in NDEBUG builds (internal
+ * invariants, the "panic" category).
+ */
+#ifndef IGS_COMMON_CHECK_H
+#define IGS_COMMON_CHECK_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace igs::detail {
+
+[[noreturn]] inline void
+check_failed(const char* cond, const char* file, int line, const char* msg)
+{
+    std::fprintf(stderr, "igs: check failed: %s at %s:%d%s%s\n", cond, file,
+                 line, msg[0] ? ": " : "", msg);
+    std::abort();
+}
+
+} // namespace igs::detail
+
+#define IGS_CHECK(cond)                                                       \
+    do {                                                                       \
+        if (!(cond)) {                                                         \
+            ::igs::detail::check_failed(#cond, __FILE__, __LINE__, "");        \
+        }                                                                      \
+    } while (0)
+
+#define IGS_CHECK_MSG(cond, msg)                                               \
+    do {                                                                       \
+        if (!(cond)) {                                                         \
+            ::igs::detail::check_failed(#cond, __FILE__, __LINE__, (msg));     \
+        }                                                                      \
+    } while (0)
+
+#ifdef NDEBUG
+#define IGS_DCHECK(cond) ((void)0)
+#else
+#define IGS_DCHECK(cond) IGS_CHECK(cond)
+#endif
+
+#endif // IGS_COMMON_CHECK_H

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * A sharded concurrent hash map.
+ *
+ * Stands in for Intel TBB's `concurrent_hash_map`, which the paper uses in
+ * ABR's instrumentation of *non-reordered* ABR-active batches: multiple
+ * update threads accumulate per-vertex degrees concurrently (ABR pseudocode,
+ * §4.2).  Open addressing within a shard, one spinlock per shard.
+ */
+#ifndef IGS_COMMON_CONCURRENT_HASH_MAP_H
+#define IGS_COMMON_CONCURRENT_HASH_MAP_H
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/spinlock.h"
+
+namespace igs {
+
+/**
+ * Concurrent hash map from a 64-bit-hashable key to a value, optimized for
+ * the accumulate-then-sweep pattern (insert/update under contention, then a
+ * single-threaded `for_each`).
+ *
+ * @tparam Key integral key type
+ * @tparam Value mapped type (must be default-constructible)
+ */
+template <typename Key, typename Value>
+class ConcurrentHashMap {
+  public:
+    /**
+     * @param expected_size sizing hint: total elements across all shards.
+     * @param shards number of independently locked shards (rounded up to a
+     *        power of two).
+     */
+    explicit ConcurrentHashMap(std::size_t expected_size = 1024,
+                               std::size_t shards = 64)
+    {
+        shard_count_ = 1;
+        while (shard_count_ < shards) {
+            shard_count_ <<= 1;
+        }
+        const std::size_t per_shard =
+            std::max<std::size_t>(16, 2 * expected_size / shard_count_);
+        shards_.reserve(shard_count_);
+        for (std::size_t i = 0; i < shard_count_; ++i) {
+            shards_.push_back(std::make_unique<Shard>());
+            shards_.back()->init(per_shard);
+        }
+    }
+
+    /**
+     * Apply `fn(Value&)` to the value for `key`, inserting a
+     * default-constructed value first if absent.  Thread-safe.
+     */
+    template <typename Fn>
+    void
+    update(Key key, Fn&& fn)
+    {
+        Shard& s = shard_for(key);
+        std::lock_guard lk(s.lock);
+        fn(s.find_or_insert(key));
+    }
+
+    /** Look up `key`; returns nullptr if absent. Thread-safe vs. readers
+     *  only — do not race with concurrent `update`. */
+    const Value*
+    find(Key key) const
+    {
+        const Shard& s = shard_for(key);
+        return s.find(key);
+    }
+
+    /** Total number of entries (not thread-safe vs. writers). */
+    std::size_t
+    size() const
+    {
+        std::size_t n = 0;
+        for (const auto& s : shards_) {
+            n += s->count;
+        }
+        return n;
+    }
+
+    /** Visit every (key, value) pair single-threaded. */
+    template <typename Fn>
+    void
+    for_each(Fn&& fn) const
+    {
+        for (const auto& s : shards_) {
+            for (std::size_t i = 0; i < s->slots.size(); ++i) {
+                if (s->used[i]) {
+                    fn(s->slots[i].first, s->slots[i].second);
+                }
+            }
+        }
+    }
+
+    /** Remove all entries, keeping capacity. */
+    void
+    clear()
+    {
+        for (auto& s : shards_) {
+            std::fill(s->used.begin(), s->used.end(), false);
+            s->count = 0;
+        }
+    }
+
+  private:
+    struct Shard {
+        Spinlock lock;
+        std::vector<std::pair<Key, Value>> slots;
+        std::vector<bool> used;
+        std::size_t count = 0;
+        std::size_t mask = 0;
+
+        void
+        init(std::size_t capacity)
+        {
+            std::size_t cap = 16;
+            while (cap < capacity) {
+                cap <<= 1;
+            }
+            slots.resize(cap);
+            used.assign(cap, false);
+            mask = cap - 1;
+        }
+
+        void
+        grow()
+        {
+            std::vector<std::pair<Key, Value>> old_slots = std::move(slots);
+            std::vector<bool> old_used = std::move(used);
+            init(old_slots.size() * 2);
+            count = 0;
+            for (std::size_t i = 0; i < old_slots.size(); ++i) {
+                if (old_used[i]) {
+                    find_or_insert(old_slots[i].first) = old_slots[i].second;
+                }
+            }
+        }
+
+        Value&
+        find_or_insert(Key key)
+        {
+            if (count * 4 >= slots.size() * 3) {
+                grow();
+            }
+            std::size_t i = probe_start(key);
+            while (used[i]) {
+                if (slots[i].first == key) {
+                    return slots[i].second;
+                }
+                i = (i + 1) & mask;
+            }
+            used[i] = true;
+            slots[i] = {key, Value{}};
+            ++count;
+            return slots[i].second;
+        }
+
+        const Value*
+        find(Key key) const
+        {
+            if (slots.empty()) {
+                return nullptr;
+            }
+            std::size_t i = probe_start(key);
+            while (used[i]) {
+                if (slots[i].first == key) {
+                    return &slots[i].second;
+                }
+                i = (i + 1) & mask;
+            }
+            return nullptr;
+        }
+
+        std::size_t
+        probe_start(Key key) const
+        {
+            return hash_key(key) & mask;
+        }
+    };
+
+    static std::uint64_t
+    hash_key(Key key)
+    {
+        auto x = static_cast<std::uint64_t>(key);
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdull;
+        x ^= x >> 33;
+        x *= 0xc4ceb9fe1a85ec53ull;
+        x ^= x >> 33;
+        return x;
+    }
+
+    // Shard selection uses the high hash bits, slot probing the low bits, so
+    // keys within one shard still spread across that shard's slots.
+    Shard&
+    shard_for(Key key)
+    {
+        return *shards_[(hash_key(key) >> 48) & (shard_count_ - 1)];
+    }
+    const Shard&
+    shard_for(Key key) const
+    {
+        return *shards_[(hash_key(key) >> 48) & (shard_count_ - 1)];
+    }
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::size_t shard_count_ = 1;
+};
+
+} // namespace igs
+
+#endif // IGS_COMMON_CONCURRENT_HASH_MAP_H

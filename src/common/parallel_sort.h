@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Parallel stable sort.
+ *
+ * Stands in for Boost's `parallel_stable_sort`, which the paper uses for
+ * batch reordering (§3.2): stability matters because reordering must
+ * preserve the arrival order of a vertex's edges (insertions before
+ * deletions of the same edge, and deterministic duplicate resolution).
+ *
+ * Implementation: split into P runs, stable_sort each run in parallel, then
+ * log2(P) rounds of pairwise stable merges.
+ */
+#ifndef IGS_COMMON_PARALLEL_SORT_H
+#define IGS_COMMON_PARALLEL_SORT_H
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace igs {
+
+/**
+ * Stable-sort [begin, end) with `comp` using `pool`.
+ *
+ * Falls back to `std::stable_sort` for small inputs.  Requires random-access
+ * iterators over a movable value type.
+ */
+template <typename Iter, typename Comp>
+void
+parallel_stable_sort(Iter begin, Iter end, Comp comp, ThreadPool& pool)
+{
+    const std::size_t n = static_cast<std::size_t>(end - begin);
+    const std::size_t p = pool.size();
+    constexpr std::size_t kSerialCutoff = 8192;
+    if (n <= kSerialCutoff || p <= 1) {
+        std::stable_sort(begin, end, comp);
+        return;
+    }
+
+    // Run boundaries: p contiguous runs of near-equal size.
+    std::vector<std::size_t> bounds(p + 1);
+    for (std::size_t i = 0; i <= p; ++i) {
+        bounds[i] = n * i / p;
+    }
+
+    pool.run([&](std::size_t tid) {
+        std::stable_sort(begin + static_cast<std::ptrdiff_t>(bounds[tid]),
+                         begin + static_cast<std::ptrdiff_t>(bounds[tid + 1]),
+                         comp);
+    });
+
+    // Pairwise merge rounds. Each round halves the number of runs; merges
+    // within a round are independent and run on the pool.
+    using T = typename std::iterator_traits<Iter>::value_type;
+    std::vector<T> scratch(n);
+    std::vector<std::size_t> cur = bounds;
+    while (cur.size() > 2) {
+        const std::size_t runs = cur.size() - 1;
+        const std::size_t pairs = runs / 2;
+        pool.parallel_for(0, pairs, [&](std::size_t k) {
+            const std::size_t lo = cur[2 * k];
+            const std::size_t mid = cur[2 * k + 1];
+            const std::size_t hi = cur[2 * k + 2];
+            std::merge(begin + static_cast<std::ptrdiff_t>(lo),
+                       begin + static_cast<std::ptrdiff_t>(mid),
+                       begin + static_cast<std::ptrdiff_t>(mid),
+                       begin + static_cast<std::ptrdiff_t>(hi),
+                       scratch.begin() + static_cast<std::ptrdiff_t>(lo), comp);
+            std::move(scratch.begin() + static_cast<std::ptrdiff_t>(lo),
+                      scratch.begin() + static_cast<std::ptrdiff_t>(hi),
+                      begin + static_cast<std::ptrdiff_t>(lo));
+        }, 1);
+        std::vector<std::size_t> next;
+        next.reserve(pairs + 2);
+        for (std::size_t k = 0; k <= pairs; ++k) {
+            next.push_back(cur[2 * k]);
+        }
+        if (runs % 2 == 1) {
+            next.push_back(cur.back());
+        } else {
+            next.back() = cur.back();
+        }
+        cur = std::move(next);
+    }
+}
+
+/** Convenience overload using the process-wide default pool. */
+template <typename Iter, typename Comp>
+void
+parallel_stable_sort(Iter begin, Iter end, Comp comp)
+{
+    parallel_stable_sort(begin, end, comp, default_pool());
+}
+
+} // namespace igs
+
+#endif // IGS_COMMON_PARALLEL_SORT_H

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All generators in igstream are seeded explicitly so dataset synthesis,
+ * tests, and benchmarks replay bit-identically across runs and machines.
+ * SplitMix64 seeds Xoshiro256**, the main engine.
+ */
+#ifndef IGS_COMMON_RANDOM_H
+#define IGS_COMMON_RANDOM_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace igs {
+
+/** SplitMix64: used to expand a single 64-bit seed into generator state. */
+class SplitMix64 {
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * Xoshiro256** 1.0 — fast, high-quality, 256-bit state.
+ *
+ * Satisfies the UniformRandomBitGenerator concept so it can be plugged into
+ * <random> distributions, but the helpers below avoid libstdc++
+ * distributions whose sequences are not standardized.
+ */
+class Rng {
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x1905c0ffee5eedull)
+    {
+        SplitMix64 sm(seed);
+        for (auto& s : state_) {
+            s = sm.next();
+        }
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection method.
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < bound) {
+            const std::uint64_t threshold = -bound % bound;
+            while (low < threshold) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * bound;
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Sample from a bounded discrete power law: P(k) ∝ k^-alpha for
+     * k in [1, max_value], via inverse-transform on the continuous
+     * approximation.  Used by the dataset generators to shape per-batch
+     * degree distributions.
+     */
+    std::uint64_t
+    power_law(double alpha, std::uint64_t max_value)
+    {
+        if (max_value <= 1) {
+            return 1;
+        }
+        const double u = uniform();
+        if (alpha == 1.0) {
+            return static_cast<std::uint64_t>(
+                std::pow(static_cast<double>(max_value), u));
+        }
+        const double one_minus = 1.0 - alpha;
+        const double max_pow = std::pow(static_cast<double>(max_value),
+                                        one_minus);
+        const double v = std::pow(1.0 + u * (max_pow - 1.0), 1.0 / one_minus);
+        auto k = static_cast<std::uint64_t>(v);
+        if (k < 1) {
+            k = 1;
+        }
+        if (k > max_value) {
+            k = max_value;
+        }
+        return k;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace igs
+
+#endif // IGS_COMMON_RANDOM_H

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Small synchronization primitives used by the update executors.
+ *
+ * The baseline (non-reordered) update path takes one of these per vertex
+ * while mutating that vertex's edge data — exactly the lock the paper's RO
+ * technique exists to eliminate.
+ */
+#ifndef IGS_COMMON_SPINLOCK_H
+#define IGS_COMMON_SPINLOCK_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace igs {
+
+/** Test-and-test-and-set spinlock; satisfies BasicLockable. */
+class Spinlock {
+  public:
+    Spinlock() = default;
+    Spinlock(const Spinlock&) = delete;
+    Spinlock& operator=(const Spinlock&) = delete;
+
+    void
+    lock()
+    {
+        while (true) {
+            if (!flag_.exchange(true, std::memory_order_acquire)) {
+                return;
+            }
+            while (flag_.load(std::memory_order_relaxed)) {
+                // spin
+            }
+        }
+    }
+
+    bool
+    try_lock()
+    {
+        return !flag_.load(std::memory_order_relaxed) &&
+               !flag_.exchange(true, std::memory_order_acquire);
+    }
+
+    void
+    unlock()
+    {
+        flag_.store(false, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+
+/** A cache-line padded wrapper to avoid false sharing between counters. */
+template <typename T>
+struct alignas(64) Padded {
+    T value{};
+};
+
+/**
+ * A striped lock table: maps a key to one of a fixed number of spinlocks.
+ * Used where per-object locks would be too memory-hungry.
+ */
+class StripedLocks {
+  public:
+    explicit StripedLocks(std::size_t stripes = 1024)
+        : locks_(round_up_pow2(stripes)), mask_(locks_.size() - 1)
+    {
+    }
+
+    Spinlock& for_key(std::uint64_t key) { return locks_[mix(key) & mask_].value; }
+
+    std::size_t size() const { return locks_.size(); }
+
+  private:
+    static std::size_t
+    round_up_pow2(std::size_t v)
+    {
+        std::size_t p = 1;
+        while (p < v) {
+            p <<= 1;
+        }
+        return p;
+    }
+
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdull;
+        x ^= x >> 33;
+        return x;
+    }
+
+    std::vector<Padded<Spinlock>> locks_;
+    std::size_t mask_;
+};
+
+} // namespace igs
+
+#endif // IGS_COMMON_SPINLOCK_H

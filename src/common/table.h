@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Plain-text table formatting for bench harnesses: every figure/table
+ * reproduction prints the paper's rows/series through this so the output is
+ * uniform and easy to diff against EXPERIMENTS.md.
+ */
+#ifndef IGS_COMMON_TABLE_H
+#define IGS_COMMON_TABLE_H
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace igs {
+
+/** Column-aligned text table builder. */
+class TextTable {
+  public:
+    explicit TextTable(std::vector<std::string> header)
+        : header_(std::move(header))
+    {
+    }
+
+    /** Begin a new row. */
+    TextTable&
+    row()
+    {
+        rows_.emplace_back();
+        return *this;
+    }
+
+    /** Append a string cell to the current row. */
+    TextTable&
+    cell(const std::string& value)
+    {
+        rows_.back().push_back(value);
+        return *this;
+    }
+
+    /** Append a formatted floating-point cell. */
+    TextTable&
+    cell(double value, int precision = 2)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << value;
+        rows_.back().push_back(os.str());
+        return *this;
+    }
+
+    /** Append an integer cell. */
+    TextTable&
+    cell(std::uint64_t value)
+    {
+        rows_.back().push_back(std::to_string(value));
+        return *this;
+    }
+
+    /** Render to a string with aligned columns. */
+    std::string
+    str() const
+    {
+        std::vector<std::size_t> widths(header_.size(), 0);
+        auto widen = [&](const std::vector<std::string>& r) {
+            for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i) {
+                widths[i] = std::max(widths[i], r[i].size());
+            }
+        };
+        widen(header_);
+        for (const auto& r : rows_) {
+            widen(r);
+        }
+        std::ostringstream os;
+        auto emit = [&](const std::vector<std::string>& r) {
+            for (std::size_t i = 0; i < widths.size(); ++i) {
+                const std::string& v = i < r.size() ? r[i] : std::string();
+                os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+                   << v;
+            }
+            os << '\n';
+        };
+        emit(header_);
+        std::vector<std::string> rule;
+        rule.reserve(header_.size());
+        for (std::size_t i = 0; i < header_.size(); ++i) {
+            rule.push_back(std::string(widths[i], '-'));
+        }
+        emit(rule);
+        for (const auto& r : rows_) {
+            emit(r);
+        }
+        return os.str();
+    }
+
+    /** Print to stdout. */
+    void
+    print() const
+    {
+        std::fputs(str().c_str(), stdout);
+    }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace igs
+
+#endif // IGS_COMMON_TABLE_H

@@ -1,0 +1,140 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace igs {
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    num_threads_ = num_threads;
+    // The caller acts as worker 0; spawn the rest.
+    threads_.reserve(num_threads_ - 1);
+    for (std::size_t i = 1; i < num_threads_; ++i) {
+        threads_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard lk(mutex_);
+        stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (auto& t : threads_) {
+        t.join();
+    }
+}
+
+void
+ThreadPool::worker_loop(std::size_t id)
+{
+    std::uint64_t seen_epoch = 0;
+    while (true) {
+        const std::function<void(std::size_t)>* job = nullptr;
+        {
+            std::unique_lock lk(mutex_);
+            cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+            if (stop_) {
+                return;
+            }
+            seen_epoch = epoch_;
+            job = job_;
+        }
+        (*job)(id);
+        {
+            std::lock_guard lk(mutex_);
+            if (--active_ == 0) {
+                cv_done_.notify_all();
+            }
+        }
+    }
+}
+
+void
+ThreadPool::run(const std::function<void(std::size_t)>& fn)
+{
+    {
+        std::lock_guard lk(mutex_);
+        IGS_CHECK_MSG(job_ == nullptr, "ThreadPool::run is not reentrant");
+        job_ = &fn;
+        active_ = num_threads_ - 1;
+        ++epoch_;
+    }
+    cv_start_.notify_all();
+    fn(0); // caller participates as worker 0
+    {
+        std::unique_lock lk(mutex_);
+        cv_done_.wait(lk, [&] { return active_ == 0; });
+        job_ = nullptr;
+    }
+}
+
+void
+ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& body,
+                         std::size_t chunk)
+{
+    if (begin >= end) {
+        return;
+    }
+    if (num_threads_ == 1 || end - begin <= chunk) {
+        for (std::size_t i = begin; i < end; ++i) {
+            body(i);
+        }
+        return;
+    }
+    std::atomic<std::size_t> next{begin};
+    run([&](std::size_t) {
+        while (true) {
+            const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+            if (lo >= end) {
+                return;
+            }
+            const std::size_t hi = std::min(lo + chunk, end);
+            for (std::size_t i = lo; i < hi; ++i) {
+                body(i);
+            }
+        }
+    });
+}
+
+void
+ThreadPool::parallel_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    std::size_t chunk)
+{
+    if (begin >= end) {
+        return;
+    }
+    if (num_threads_ == 1 || end - begin <= chunk) {
+        body(0, begin, end);
+        return;
+    }
+    std::atomic<std::size_t> next{begin};
+    run([&](std::size_t tid) {
+        while (true) {
+            const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+            if (lo >= end) {
+                return;
+            }
+            const std::size_t hi = std::min(lo + chunk, end);
+            body(tid, lo, hi);
+        }
+    });
+}
+
+ThreadPool&
+default_pool()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace igs

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Wall-clock timing.  Bench harnesses report *simulated* cycles as the
+ * primary metric (see DESIGN.md, substitution table); wall-clock timers are
+ * used for harness bookkeeping and the wall-time columns some benches print
+ * alongside.
+ */
+#ifndef IGS_COMMON_TIMER_H
+#define IGS_COMMON_TIMER_H
+
+#include <chrono>
+
+namespace igs {
+
+/** Monotonic stopwatch. */
+class Timer {
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction or last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace igs
+
+#endif // IGS_COMMON_TIMER_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fundamental types shared by every igstream module.
+ *
+ * The streaming engine processes a stream of <source, destination[, weight]>
+ * tuples grouped into fixed-size input batches.  Vertex identifiers are dense
+ * 32-bit integers (the dataset registry guarantees compaction); edge counts
+ * and cycle counts are 64-bit.
+ */
+#ifndef IGS_COMMON_TYPES_H
+#define IGS_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace igs {
+
+/** Dense vertex identifier. */
+using VertexId = std::uint32_t;
+/** Edge ordinal / count type. */
+using EdgeId = std::uint64_t;
+/** Edge weight. Unweighted graphs carry weight 1. */
+using Weight = float;
+/** Simulated time in core cycles (2.5 GHz reference clock). */
+using Cycles = std::uint64_t;
+
+/** Sentinel for "no vertex". */
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/** Sentinel for "unreachable" distances in shortest-path algorithms. */
+inline constexpr Weight kInfiniteDistance =
+    std::numeric_limits<Weight>::infinity();
+
+/**
+ * One streamed graph modification.
+ *
+ * A batch is a contiguous array of these.  Deletions are streamed in-band
+ * with @ref is_delete set; the engine guarantees (like the paper's HAU
+ * ordering rule) that a batch's insertions are applied before its deletions.
+ */
+struct StreamEdge {
+    VertexId src = 0;
+    VertexId dst = 0;
+    Weight weight = 1.0f;
+    bool is_delete = false;
+
+    friend bool operator==(const StreamEdge&, const StreamEdge&) = default;
+};
+
+/** A plain directed edge as stored in adjacency structures. */
+struct Neighbor {
+    VertexId id = 0;
+    Weight weight = 1.0f;
+
+    friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+/** Direction selector for per-vertex edge data. */
+enum class Direction : std::uint8_t { kOut = 0, kIn = 1 };
+
+/** Human-readable name of a direction (for logs and bench output). */
+inline const char* to_string(Direction d)
+{
+    return d == Direction::kOut ? "out" : "in";
+}
+
+} // namespace igs
+
+#endif // IGS_COMMON_TYPES_H

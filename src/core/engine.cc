@@ -1,0 +1,248 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace igs::core {
+
+const char*
+to_string(UpdatePolicy policy)
+{
+    switch (policy) {
+      case UpdatePolicy::kBaseline:
+        return "baseline";
+      case UpdatePolicy::kAlwaysReorder:
+        return "RO";
+      case UpdatePolicy::kAlwaysReorderUsc:
+        return "RO+USC";
+      case UpdatePolicy::kAlwaysHau:
+        return "HAU-only";
+      case UpdatePolicy::kAbr:
+        return "ABR";
+      case UpdatePolicy::kAbrUsc:
+        return "ABR+USC";
+      case UpdatePolicy::kAbrUscHau:
+        return "ABR+USC+HAU";
+    }
+    return "?";
+}
+
+namespace detail {
+
+bool
+DecisionCore::policy_uses_abr(UpdatePolicy p)
+{
+    return p == UpdatePolicy::kAbr || p == UpdatePolicy::kAbrUsc ||
+           p == UpdatePolicy::kAbrUscHau;
+}
+
+bool
+DecisionCore::reorder_now(UpdatePolicy p) const
+{
+    switch (p) {
+      case UpdatePolicy::kBaseline:
+      case UpdatePolicy::kAlwaysHau:
+        return false;
+      case UpdatePolicy::kAlwaysReorder:
+      case UpdatePolicy::kAlwaysReorderUsc:
+        return true;
+      case UpdatePolicy::kAbr:
+      case UpdatePolicy::kAbrUsc:
+      case UpdatePolicy::kAbrUscHau:
+        return abr_.reordering();
+    }
+    return false;
+}
+
+PendingWork
+PendingAccumulator::take()
+{
+    PendingWork w;
+    std::sort(affected_.begin(), affected_.end());
+    affected_.erase(std::unique(affected_.begin(), affected_.end()),
+                    affected_.end());
+    w.affected = std::move(affected_);
+    w.inserted = std::move(inserted_);
+    w.deleted = std::move(deleted_);
+    w.batches = batches_;
+    affected_.clear();
+    inserted_.clear();
+    deleted_.clear();
+    batches_ = 0;
+    return w;
+}
+
+} // namespace detail
+
+namespace {
+
+/** Grow a graph to cover every vertex the batch names. */
+template <typename Graph>
+void
+ensure_batch_capacity(Graph& g, const stream::EdgeBatch& batch)
+{
+    VertexId max_v = 0;
+    for (const StreamEdge& e : batch.edges) {
+        max_v = std::max({max_v, e.src, e.dst});
+    }
+    if (static_cast<std::size_t>(max_v) + 1 > g.num_vertices()) {
+        g.ensure_vertices(static_cast<std::size_t>(max_v) + 1);
+    }
+}
+
+/**
+ * Decision + dispatch shared by both frontends.  Returns the filled
+ * report (minus timing) and the chosen parameters via out-params.
+ */
+struct Dispatch {
+    bool reorder = false;
+    bool usc = false;
+    bool hau = false;
+    bool want_probe = false;
+};
+
+template <typename RunUpdate>
+BatchReport
+drive_batch(detail::DecisionCore& core, const stream::EdgeBatch& batch,
+            bool hau_available, RunUpdate&& run_update)
+{
+    const UpdatePolicy policy = core.config().policy;
+    BatchReport report;
+    report.batch_id = batch.id;
+
+    // 1. Reorder first if the latched decision says so — ABR's cheap
+    //    instrumentation path reads the run index of this reordering.
+    const bool reorder = core.reorder_now(policy);
+    stream::ReorderedBatch rb;
+    if (reorder) {
+        rb = stream::reorder_batch(batch.edges, default_pool());
+    }
+
+    // 2. ABR instrumentation + decision latch for the following batches.
+    if (detail::DecisionCore::policy_uses_abr(policy)) {
+        const AbrDecision ad =
+            core.abr().on_batch(batch.edges, reorder ? &rb : nullptr);
+        report.abr_active = ad.active;
+        report.cad = ad.cad;
+        report.instrumentation_cycles += ad.instrumentation_cycles;
+    } else {
+        // Input-oblivious policies still sample locality on every n-th
+        // batch so OCA stays available for the compute phase.
+        report.abr_active =
+            core.abr().params().n == 0
+                ? false
+                : ((batch.id - 1) % core.abr().params().n) == 0;
+    }
+
+    // 3. Update execution mode for this batch.
+    Dispatch d;
+    d.reorder = reorder;
+    d.usc = reorder && (policy == UpdatePolicy::kAlwaysReorderUsc ||
+                        policy == UpdatePolicy::kAbrUsc ||
+                        policy == UpdatePolicy::kAbrUscHau);
+    d.hau = hau_available && !reorder &&
+            (policy == UpdatePolicy::kAlwaysHau ||
+             policy == UpdatePolicy::kAbrUscHau);
+    // OCA samples locality on ABR-active batches; batch 1 has no
+    // predecessor (overlap is necessarily zero), so the first usable
+    // sample is taken on batch 2 instead.
+    d.want_probe = core.oca().params().enabled &&
+                   ((report.abr_active && batch.id > 1) || batch.id == 2);
+
+    report.reordered = d.reorder;
+    report.used_usc = d.usc;
+    report.used_hau = d.hau;
+
+    // 4. Run the update (frontend-specific) with an OCA probe when due.
+    stream::OcaProbe probe;
+    run_update(d, reorder ? &rb : nullptr,
+               d.want_probe ? &probe : nullptr, report);
+    if (core.oca().params().enabled) {
+        report.instrumentation_cycles +=
+            static_cast<double>(batch.size()) *
+            core.oca().params().instr_cycles_per_edge;
+    }
+
+    // 5. OCA: decide whether to defer this batch's compute round.
+    const OcaDecision od =
+        core.oca().on_batch(d.want_probe ? &probe : nullptr);
+    report.overlap = od.overlap;
+    report.defer_compute = od.defer_compute;
+    return report;
+}
+
+} // namespace
+
+SimEngine::SimEngine(const EngineConfig& config,
+                     const sim::MachineParams& machine,
+                     const sim::SwCostParams& sw,
+                     const sim::HauCostParams& hw, std::size_t num_vertices)
+    : core_(config), graph_(num_vertices),
+      runner_(machine, sw, hw, num_vertices)
+{
+}
+
+BatchReport
+SimEngine::ingest(const stream::EdgeBatch& batch)
+{
+    ensure_batch_capacity(graph_, batch);
+    BatchReport report = drive_batch(
+        core_, batch, /*hau_available=*/true,
+        [&](const Dispatch& d, const stream::ReorderedBatch* rb,
+            stream::OcaProbe* probe, BatchReport& r) {
+            const sim::UpdateMode mode =
+                d.reorder ? (d.usc ? sim::UpdateMode::kReorderedUsc
+                                   : sim::UpdateMode::kReordered)
+                          : (d.hau ? sim::UpdateMode::kHau
+                                   : sim::UpdateMode::kBaseline);
+            r.update = runner_.run(graph_, batch, mode, probe, rb);
+        });
+
+    // Instrumentation work is parallel across the machine's workers; fold
+    // it into the batch's modeled cycles and advance the virtual clocks so
+    // subsequent batches see it.
+    const double instr_parallel =
+        report.instrumentation_cycles /
+        static_cast<double>(runner_.machine().num_cores);
+    runner_.exec().charge_all(instr_parallel);
+    report.update.cycles += static_cast<Cycles>(instr_parallel);
+
+    pending_.add(batch);
+    compute_due_ = !report.defer_compute;
+    return report;
+}
+
+RealTimeEngine::RealTimeEngine(const EngineConfig& config,
+                               std::size_t num_vertices, ThreadPool& pool)
+    : core_(config), graph_(num_vertices), pool_(pool)
+{
+}
+
+BatchReport
+RealTimeEngine::ingest(const stream::EdgeBatch& batch)
+{
+    ensure_batch_capacity(graph_, batch);
+    Timer timer;
+    BatchReport report = drive_batch(
+        core_, batch, /*hau_available=*/false,
+        [&](const Dispatch& d, const stream::ReorderedBatch* rb,
+            stream::OcaProbe* probe, BatchReport&) {
+            stream::RealContext ctx(pool_);
+            if (d.reorder && d.usc) {
+                stream::apply_batch_usc(graph_, batch, *rb, ctx, probe);
+            } else if (d.reorder) {
+                stream::apply_batch_reordered(graph_, batch, *rb, ctx,
+                                              probe);
+            } else {
+                stream::apply_batch_baseline(graph_, batch, ctx, probe);
+            }
+        });
+    report.wall_seconds = timer.seconds();
+
+    pending_.add(batch);
+    compute_due_ = !report.defer_compute;
+    return report;
+}
+
+} // namespace igs::core

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The input-aware streaming engine — the paper's primary contribution
+ * assembled: per incoming batch, ABR decides between the software execution
+ * mode (batch reordering + USC) and the baseline/hardware execution mode
+ * (per-vertex-lock updates, or HAU where hardware support is modeled), and
+ * OCA decides whether to aggregate the batch's compute round with the next
+ * one (paper Fig 2).
+ *
+ * Two engine frontends share the decision logic:
+ *
+ *  - @ref SimEngine — primary for benches: updates flow through the
+ *    deterministic Table-1 timing model (update cycles per batch, HAU
+ *    available);
+ *  - @ref RealTimeEngine — production use on a real host: updates run on
+ *    real threads with real locks (HAU, being hardware, degrades to the
+ *    baseline path for reordering-adverse batches — exactly the paper's
+ *    SW-only deployment).
+ */
+#ifndef IGS_CORE_ENGINE_H
+#define IGS_CORE_ENGINE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/abr.h"
+#include "core/oca.h"
+#include "graph/adjacency_list.h"
+#include "graph/indexed_adjacency.h"
+#include "sim/update_runner.h"
+#include "stream/batch.h"
+#include "stream/update_context.h"
+#include "stream/updaters.h"
+
+namespace igs::core {
+
+/** Update-phase policy: which paths may the engine choose from. */
+enum class UpdatePolicy {
+    kBaseline,         ///< input-oblivious: never reorder
+    kAlwaysReorder,    ///< input-oblivious: always RO
+    kAlwaysReorderUsc, ///< input-oblivious: always RO+USC (Fig 15 left)
+    kAlwaysHau,        ///< input-oblivious: HW-only (Fig 15 right)
+    kAbr,              ///< ABR: friendly -> RO, adverse -> baseline
+    kAbrUsc,           ///< ABR: friendly -> RO+USC, adverse -> baseline
+    kAbrUscHau,        ///< full system: friendly -> RO+USC, adverse -> HAU
+};
+
+const char* to_string(UpdatePolicy policy);
+
+/** Engine configuration. */
+struct EngineConfig {
+    UpdatePolicy policy = UpdatePolicy::kAbrUscHau;
+    AbrParams abr;
+    OcaParams oca;
+};
+
+/** Everything the engine did with one batch. */
+struct BatchReport {
+    std::uint64_t batch_id = 0;
+    bool abr_active = false;
+    bool reordered = false;
+    bool used_usc = false;
+    bool used_hau = false;
+    std::optional<CadResult> cad;
+    double overlap = 0.0;
+    bool defer_compute = false;
+    /** Modeled ABR+OCA instrumentation cycles included in `update`. */
+    double instrumentation_cycles = 0.0;
+    /** Modeled update statistics (SimEngine; zero for RealTimeEngine). */
+    sim::UpdateStats update;
+    /** Wall-clock update seconds (RealTimeEngine; zero for SimEngine). */
+    double wall_seconds = 0.0;
+};
+
+/** Batch-span work handed to the compute phase. */
+struct PendingWork {
+    /** Unique vertices touched since the last compute round. */
+    std::vector<VertexId> affected;
+    /** Edge modifications since the last compute round. */
+    std::vector<StreamEdge> inserted;
+    std::vector<StreamEdge> deleted;
+    /** How many batches this round aggregates (1 normally, 2 under OCA). */
+    std::uint32_t batches = 0;
+};
+
+namespace detail {
+
+/** Shared ABR/OCA decision plumbing between the two engine frontends. */
+class DecisionCore {
+  public:
+    explicit DecisionCore(const EngineConfig& config)
+        : config_(config), abr_(config.abr), oca_(config.oca)
+    {
+    }
+
+    const EngineConfig& config() const { return config_; }
+    AbrController& abr() { return abr_; }
+    OcaController& oca() { return oca_; }
+
+    /** Does `policy` ever reorder / need ABR instrumentation? */
+    static bool policy_uses_abr(UpdatePolicy p);
+    /** Will the engine reorder the current batch? */
+    bool reorder_now(UpdatePolicy p) const;
+
+  private:
+    EngineConfig config_;
+    AbrController abr_;
+    OcaController oca_;
+};
+
+/** Accumulates compute-phase work across (possibly aggregated) batches. */
+class PendingAccumulator {
+  public:
+    void
+    add(const stream::EdgeBatch& batch)
+    {
+        for (const StreamEdge& e : batch.edges) {
+            affected_.push_back(e.src);
+            affected_.push_back(e.dst);
+            if (e.is_delete) {
+                deleted_.push_back(e);
+            } else {
+                inserted_.push_back(e);
+            }
+        }
+        ++batches_;
+    }
+
+    PendingWork take();
+    std::uint32_t pending_batches() const { return batches_; }
+
+  private:
+    std::vector<VertexId> affected_;
+    std::vector<StreamEdge> inserted_;
+    std::vector<StreamEdge> deleted_;
+    std::uint32_t batches_ = 0;
+};
+
+} // namespace detail
+
+/**
+ * Simulation-backed input-aware engine (primary bench/eval frontend).
+ * Owns the graph, the timing model, and the controllers.
+ */
+class SimEngine {
+  public:
+    SimEngine(const EngineConfig& config, const sim::MachineParams& machine,
+              const sim::SwCostParams& sw, const sim::HauCostParams& hw,
+              std::size_t num_vertices);
+
+    /** The evolving graph (index-accelerated; see DESIGN.md). */
+    graph::IndexedAdjacency& graph() { return graph_; }
+    const graph::IndexedAdjacency& graph() const { return graph_; }
+
+    /** Ingest one batch; runs ABR/OCA and the chosen update path. */
+    BatchReport ingest(const stream::EdgeBatch& batch);
+
+    /** True when a compute round is due (OCA may defer it). */
+    bool compute_due() const { return compute_due_; }
+
+    /** Hand the accumulated modifications to the compute phase. */
+    PendingWork take_pending_work() { return pending_.take(); }
+
+    /** The underlying update runner (HAU/NoC inspection in benches). */
+    sim::UpdateRunner& runner() { return runner_; }
+
+    const EngineConfig& config() const { return core_.config(); }
+
+  private:
+    detail::DecisionCore core_;
+    graph::IndexedAdjacency graph_;
+    sim::UpdateRunner runner_;
+    detail::PendingAccumulator pending_;
+    bool compute_due_ = false;
+};
+
+/**
+ * Real-host input-aware engine: actual threads, actual locks.  Timing is
+ * wall-clock; HAU is unavailable (hardware) so kAbrUscHau and kAlwaysHau
+ * degrade to their software equivalents.
+ */
+class RealTimeEngine {
+  public:
+    RealTimeEngine(const EngineConfig& config, std::size_t num_vertices,
+                   ThreadPool& pool = default_pool());
+
+    graph::AdjacencyList& graph() { return graph_; }
+    const graph::AdjacencyList& graph() const { return graph_; }
+
+    BatchReport ingest(const stream::EdgeBatch& batch);
+
+    bool compute_due() const { return compute_due_; }
+    PendingWork take_pending_work() { return pending_.take(); }
+
+    const EngineConfig& config() const { return core_.config(); }
+
+  private:
+    detail::DecisionCore core_;
+    graph::AdjacencyList graph_;
+    ThreadPool& pool_;
+    detail::PendingAccumulator pending_;
+    bool compute_due_ = false;
+};
+
+} // namespace igs::core
+
+#endif // IGS_CORE_ENGINE_H

@@ -1,0 +1,271 @@
+#include "gen/datasets.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace igs::gen {
+namespace {
+
+/** Helper assembling one registry entry. */
+DatasetSpec
+make(std::string name, std::string full, std::uint64_t pv, std::uint64_t pe,
+     bool ts, bool friendly, std::uint64_t friendly_from, StreamModel m,
+     std::uint64_t stream_edges)
+{
+    DatasetSpec d;
+    d.name = std::move(name);
+    d.full_name = std::move(full);
+    d.paper_vertices = pv;
+    d.paper_edges = pe;
+    d.timestamped = ts;
+    d.reorder_friendly = friendly;
+    d.friendly_from_batch = friendly_from;
+    d.model = m;
+    d.stream_edges = stream_edges;
+    return d;
+}
+
+std::vector<DatasetSpec>
+build_registry()
+{
+    std::vector<DatasetSpec> r;
+
+    // ---- Shuffled static datasets (talk..uk in Table 2). -------------
+    // Reordering-adverse everywhere: near-uniform endpoints, negligible
+    // hub mass, so per-batch max degrees stay low (lj-100K tops out around
+    // the paper's ~30).
+    {
+        StreamModel m;
+        m.num_vertices = 600000;
+        m.num_hubs = 5000;
+        m.hub_mass_dst = 0.02;
+        m.hub_mass_src = 0.02;
+        m.zipf_s = 0.6;
+        m.seed = 0xA001;
+        r.push_back(make("lj", "soc-LiveJournal", 4847571, 68993773, false,
+                         false, 0, m, 600000));
+    }
+    {
+        StreamModel m;
+        m.num_vertices = 500000;
+        m.num_hubs = 4000;
+        m.hub_mass_dst = 0.01;
+        m.hub_mass_src = 0.01;
+        m.zipf_s = 0.5;
+        m.seed = 0xA002;
+        r.push_back(make("patents", "cit-Patents", 3774768, 16518948, false,
+                         false, 0, m, 500000));
+    }
+    // Reordering-friendly at >=100K: moderate hub mass concentrates a
+    // percent-level share of each batch on the top destination.
+    {
+        StreamModel m;
+        m.num_vertices = 220000;
+        m.num_hubs = 2000;
+        m.hub_mass_dst = 0.06;
+        m.hub_mass_src = 0.04;
+        m.zipf_s = 0.8;
+        m.hub_src_pool = 2000;
+        m.burst_mass = 0.02;
+        m.burst_period = 110000;
+        m.seed = 0xA003;
+        r.push_back(make("topcats", "Wiki-Topcats", 1791489, 28511807, false,
+                         true, 100000, m, 500000));
+    }
+    // Reordering-friendly from 10K: strong hub skew (admin talk pages).
+    {
+        StreamModel m;
+        m.num_vertices = 240000;
+        m.num_hubs = 2000;
+        m.hub_mass_dst = 0.10;
+        m.hub_mass_src = 0.05;
+        m.zipf_s = 0.8;
+        m.hub_src_pool = 5000;
+        m.burst_mass = 0.05;
+        m.burst_period = 50000;
+        m.seed = 0xA004;
+        r.push_back(make("talk", "Wiki-Talk", 2394385, 5021410, false, true,
+                         10000, m, 500000));
+    }
+    {
+        StreamModel m;
+        m.num_vertices = 140000;
+        m.num_hubs = 1000;
+        m.hub_mass_dst = 0.06;
+        m.hub_mass_src = 0.04;
+        m.zipf_s = 0.8;
+        m.hub_src_pool = 2000;
+        m.burst_mass = 0.02;
+        m.burst_period = 120000;
+        m.seed = 0xA005;
+        r.push_back(make("berkstan", "WebBerkStan", 685230, 7600595, false,
+                         true, 100000, m, 500000));
+    }
+    {
+        StreamModel m;
+        m.num_vertices = 1500000;
+        m.num_hubs = 10000;
+        m.hub_mass_dst = 0.005;
+        m.hub_mass_src = 0.005;
+        m.zipf_s = 0.5;
+        m.seed = 0xA006;
+        r.push_back(make("friendster", "com-Friendster", 65608366,
+                         1806067135ull, false, false, 0, m, 600000));
+    }
+    {
+        StreamModel m;
+        m.num_vertices = 2000000;
+        m.num_hubs = 30000;
+        m.hub_mass_dst = 0.015;
+        m.hub_mass_src = 0.01;
+        m.zipf_s = 0.95;
+        m.seed = 0xA007;
+        r.push_back(make("uk", "UK-Union-2006-2007", 133633040,
+                         5507679822ull, false, false, 0, m, 600000));
+    }
+
+    // ---- Timestamped datasets (fb..wiki in Table 2). ------------------
+    // Source draws favour a drifting active community, producing the
+    // inter-batch unique-vertex overlap OCA keys on.
+    {
+        StreamModel m;
+        m.num_vertices = 12000;
+        m.num_hubs = 400;
+        m.hub_mass_dst = 0.03;
+        m.hub_mass_src = 0.02;
+        m.zipf_s = 0.5;
+        m.community_mass = 0.6;
+        m.community_size = 6000;
+        m.seed = 0xA008;
+        r.push_back(make("fb", "Facebook-wall", 46952, 876993, true, false, 0,
+                         m, 400000));
+    }
+    {
+        StreamModel m;
+        m.num_vertices = 900000;
+        m.num_hubs = 8000;
+        m.hub_mass_dst = 0.03;
+        m.hub_mass_src = 0.02;
+        m.zipf_s = 0.7;
+        m.community_mass = 0.85;
+        m.community_size = 60000;
+        m.seed = 0xA009;
+        r.push_back(make("flickr", "Flickr-photo", 11730773, 34734221, true,
+                         false, 0, m, 600000));
+    }
+    // yt is reordering-friendly from 10K (Fig 3).
+    {
+        StreamModel m;
+        m.num_vertices = 320000;
+        m.num_hubs = 2000;
+        m.hub_mass_dst = 0.08;
+        m.hub_mass_src = 0.04;
+        m.zipf_s = 0.8;
+        m.community_mass = 0.8;
+        m.community_size = 50000;
+        m.hub_src_pool = 5000;
+        m.burst_mass = 0.055;
+        m.burst_period = 45000;
+        m.seed = 0xA00A;
+        r.push_back(make("yt", "Youtube", 3223589, 12223774, true, true,
+                         10000, m, 500000));
+    }
+    {
+        StreamModel m;
+        m.num_vertices = 400000;
+        m.num_hubs = 4000;
+        m.hub_mass_dst = 0.02;
+        m.hub_mass_src = 0.01;
+        m.zipf_s = 0.6;
+        m.community_mass = 0.85;
+        m.community_size = 50000;
+        m.seed = 0xA00B;
+        r.push_back(make("amazon", "Amazon-ratings", 2146057, 5838041, true,
+                         false, 0, m, 500000));
+    }
+    {
+        StreamModel m;
+        m.num_vertices = 500000;
+        m.num_hubs = 5000;
+        m.hub_mass_dst = 0.04;
+        m.hub_mass_src = 0.02;
+        m.zipf_s = 0.7;
+        m.community_mass = 0.85;
+        m.community_size = 60000;
+        m.seed = 0xA00C;
+        r.push_back(make("stack", "Stack-overflow", 2601977, 63497050, true,
+                         false, 0, m, 600000));
+    }
+    {
+        StreamModel m;
+        m.num_vertices = 60000;
+        m.num_hubs = 800;
+        m.hub_mass_dst = 0.07;
+        m.hub_mass_src = 0.04;
+        m.zipf_s = 0.8;
+        m.community_mass = 0.75;
+        m.community_size = 45000;
+        m.hub_src_pool = 2000;
+        m.burst_mass = 0.022;
+        m.burst_period = 100000;
+        m.seed = 0xA00D;
+        r.push_back(make("superuser", "Superuser", 194085, 1443339, true,
+                         true, 100000, m, 400000));
+    }
+    // wiki: the paper's flagship reordering-friendly dataset (23x max
+    // update speedup at 100K): strongest destination skew.
+    {
+        StreamModel m;
+        m.num_vertices = 150000;
+        m.num_hubs = 2000;
+        m.hub_mass_dst = 0.12;
+        m.hub_mass_src = 0.05;
+        m.zipf_s = 0.9;
+        m.community_mass = 0.8;
+        m.community_size = 90000;
+        m.hub_src_pool = 6000;
+        m.burst_mass = 0.055;
+        m.burst_period = 60000;
+        m.seed = 0xA00E;
+        r.push_back(make("wiki", "Wiki-talk-temporal", 1140149, 7833140, true,
+                         true, 10000, m, 600000));
+    }
+    return r;
+}
+
+} // namespace
+
+const std::vector<DatasetSpec>&
+registry()
+{
+    static const std::vector<DatasetSpec> r = build_registry();
+    return r;
+}
+
+const DatasetSpec&
+find_dataset(const std::string& name)
+{
+    for (const DatasetSpec& d : registry()) {
+        if (d.name == name) {
+            return d;
+        }
+    }
+    IGS_CHECK_MSG(false, ("unknown dataset: " + name).c_str());
+    __builtin_unreachable();
+}
+
+std::size_t
+default_batch_count(const DatasetSpec& ds, std::size_t batch_size,
+                    std::size_t cap)
+{
+    IGS_CHECK(batch_size > 0);
+    // The generator is an infinite stream, so we can always draw at least a
+    // few batches even when batch_size exceeds the nominal stream length —
+    // OCA and ABR need consecutive batches to be meaningful.
+    const std::size_t available =
+        std::max<std::size_t>(4, ds.stream_edges / batch_size);
+    return std::min(available, cap);
+}
+
+} // namespace igs::gen

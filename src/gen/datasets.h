@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Registry of the paper's 14 evaluation datasets (Table 2), modeled
+ * synthetically at CI scale.
+ *
+ * Each entry records the real dataset's identity and size and a
+ * @ref igs::gen::StreamModel whose parameters were calibrated so that the
+ * *input properties the paper's techniques key on* match the paper's
+ * characterization (Fig 3–5):
+ *
+ *  - talk, topcats, berkstan, yt, superuser, wiki — "high-degree" input
+ *    batches at larger batch sizes (reordering-friendly);
+ *  - lj, patents, fb, flickr, amazon, stack, friendster, uk — "low-degree"
+ *    batches at every batch size (reordering-adverse);
+ *  - fb..wiki are timestamped (temporal source locality, OCA-relevant);
+ *    talk..uk are static datasets streamed in shuffled order (modeled as
+ *    i.i.d. draws, which is what shuffling produces).
+ *
+ * Absolute sizes are scaled down so the full 260-workload sweep runs on a
+ *  laptop; relative per-dataset character is preserved (see DESIGN.md).
+ */
+#ifndef IGS_GEN_DATASETS_H
+#define IGS_GEN_DATASETS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/edge_stream.h"
+
+namespace igs::gen {
+
+/** One evaluation dataset: paper identity + synthetic model. */
+struct DatasetSpec {
+    /** Short name used throughout the paper's figures ("wiki", "lj", ...). */
+    std::string name;
+    /** Full dataset name from Table 2. */
+    std::string full_name;
+    /** Vertex/edge counts of the real dataset (Table 2). */
+    std::uint64_t paper_vertices = 0;
+    std::uint64_t paper_edges = 0;
+    /** True for datasets with real arrival timestamps (fb..wiki). */
+    bool timestamped = false;
+    /** Expected reordering class per the paper's Fig 3 (for tests and the
+     *  ABR-accuracy harness): true if reordering-friendly at batch sizes
+     *  >= `friendly_from_batch`, false everywhere. */
+    bool reorder_friendly = false;
+    std::uint64_t friendly_from_batch = 0;
+    /** Synthetic model reproducing the dataset's input character. */
+    StreamModel model;
+    /** Default stream length (scaled). */
+    std::uint64_t stream_edges = 0;
+
+    /** Construct a generator for this dataset (optionally reseeded so
+     *  repeated runs can draw independent streams). */
+    EdgeStreamGenerator
+    make_generator(std::uint64_t seed_offset = 0) const
+    {
+        StreamModel m = model;
+        m.seed += seed_offset;
+        return EdgeStreamGenerator(m);
+    }
+};
+
+/** All 14 datasets, in the paper's figure order (lj..uk). */
+const std::vector<DatasetSpec>& registry();
+
+/** Look up a dataset by short name; aborts on unknown names. */
+const DatasetSpec& find_dataset(const std::string& name);
+
+/** The batch sizes evaluated by the paper. */
+inline const std::vector<std::size_t>&
+paper_batch_sizes()
+{
+    static const std::vector<std::size_t> sizes{100, 1000, 10000, 100000,
+                                                500000};
+    return sizes;
+}
+
+/**
+ * Number of batches a bench should replay for a dataset/batch-size pair:
+ * everything the stream offers, bounded so small batch sizes don't explode
+ * the workload count (ratios are per-batch averages anyway).
+ */
+std::size_t default_batch_count(const DatasetSpec& ds, std::size_t batch_size,
+                                std::size_t cap = 48);
+
+} // namespace igs::gen
+
+#endif // IGS_GEN_DATASETS_H

@@ -1,0 +1,123 @@
+#include "gen/edge_stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace igs::gen {
+
+EdgeStreamGenerator::EdgeStreamGenerator(const StreamModel& model)
+    : model_(model), rng_(model.seed)
+{
+    IGS_CHECK(model_.num_vertices >= 2);
+    IGS_CHECK(model_.num_hubs >= 1);
+    IGS_CHECK(model_.num_hubs <= model_.num_vertices);
+    IGS_CHECK(model_.community_size >= 1);
+    IGS_CHECK(model_.community_drift_period >= 1);
+
+    // Precompute the hub inverse-CDF: weight(k) = (k+1)^-s.
+    hub_cdf_.resize(model_.num_hubs);
+    double acc = 0.0;
+    for (std::uint32_t k = 0; k < model_.num_hubs; ++k) {
+        acc += std::pow(static_cast<double>(k + 1), -model_.zipf_s);
+        hub_cdf_[k] = acc;
+    }
+    for (double& c : hub_cdf_) {
+        c /= acc;
+    }
+}
+
+VertexId
+EdgeStreamGenerator::sample_hub()
+{
+    const double u = rng_.uniform();
+    const auto it = std::lower_bound(hub_cdf_.begin(), hub_cdf_.end(), u);
+    return static_cast<VertexId>(it - hub_cdf_.begin());
+}
+
+VertexId
+EdgeStreamGenerator::sample_community()
+{
+    // The community is a contiguous id window that advances by one window
+    // length every drift period, wrapping around the vertex range.
+    const std::uint64_t window_index = position_ / model_.community_drift_period;
+    const std::uint64_t start =
+        (window_index * model_.community_size) % model_.num_vertices;
+    const std::uint64_t offset = rng_.below(
+        std::min<std::uint64_t>(model_.community_size, model_.num_vertices));
+    return static_cast<VertexId>((start + offset) % model_.num_vertices);
+}
+
+StreamEdge
+EdgeStreamGenerator::next()
+{
+    ++position_;
+    // Deletions replay a previously inserted edge.
+    if (model_.delete_fraction > 0.0 && !delete_reservoir_.empty() &&
+        rng_.chance(model_.delete_fraction)) {
+        const std::size_t i = rng_.below(delete_reservoir_.size());
+        StreamEdge del = delete_reservoir_[i];
+        delete_reservoir_[i] = delete_reservoir_.back();
+        delete_reservoir_.pop_back();
+        del.is_delete = true;
+        return del;
+    }
+
+    StreamEdge e;
+    // Destination first: hub edges constrain the source population.
+    bool dst_is_hub = false;
+    if (model_.burst_mass > 0.0 && rng_.chance(model_.burst_mass)) {
+        // The currently hot vertex; rotates each burst period through
+        // otherwise-quiet ids (hot vertices are usually fresh ones).
+        const std::uint64_t epoch = position_ / model_.burst_period;
+        e.dst = static_cast<VertexId>(
+            (model_.num_hubs + 1 + 1009 * epoch) % model_.num_vertices);
+        dst_is_hub = true;
+    } else if (model_.hub_mass_dst > 0.0 &&
+               rng_.chance(model_.hub_mass_dst)) {
+        e.dst = sample_hub();
+        dst_is_hub = true;
+    } else {
+        e.dst = static_cast<VertexId>(rng_.below(model_.num_vertices));
+    }
+    // Source: bounded hub-interaction pool, hub, active community, or
+    // uniform.
+    if (dst_is_hub && model_.hub_src_pool > 0) {
+        e.src = static_cast<VertexId>(rng_.below(
+            std::min(model_.hub_src_pool, model_.num_vertices)));
+    } else if (model_.hub_mass_src > 0.0 && rng_.chance(model_.hub_mass_src)) {
+        e.src = sample_hub();
+    } else if (model_.community_mass > 0.0 &&
+               rng_.chance(model_.community_mass)) {
+        e.src = sample_community();
+    } else {
+        e.src = static_cast<VertexId>(rng_.below(model_.num_vertices));
+    }
+    // Avoid self loops by displacement.
+    if (e.dst == e.src) {
+        e.dst = (e.dst + 1) % model_.num_vertices;
+    }
+    e.weight = model_.weighted
+                   ? static_cast<Weight>(rng_.uniform(0.5, 1.5))
+                   : 1.0f;
+
+    // Feed the deletion reservoir (bounded).
+    if (model_.delete_fraction > 0.0 && delete_reservoir_.size() < (1u << 20)) {
+        delete_reservoir_.push_back(e);
+    }
+    return e;
+}
+
+std::vector<StreamEdge>
+EdgeStreamGenerator::take(std::size_t n)
+{
+    std::vector<StreamEdge> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(next());
+    }
+    return out;
+}
+
+} // namespace igs::gen

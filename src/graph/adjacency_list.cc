@@ -1,0 +1,128 @@
+#include "graph/adjacency_list.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace igs::graph {
+
+AdjacencyList::AdjacencyList(std::size_t num_vertices)
+{
+    ensure_vertices(num_vertices);
+}
+
+void
+AdjacencyList::ensure_vertices(std::size_t n)
+{
+    if (n <= out_.size()) {
+        return;
+    }
+    out_.resize(n);
+    in_.resize(n);
+    auto new_bids = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+    for (std::size_t i = 0; i < latest_bid_size_; ++i) {
+        new_bids[i].store(latest_bid_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    }
+    latest_bid_ = std::move(new_bids);
+    latest_bid_size_ = n;
+    // Locks are only held during a parallel update phase; growing the vertex
+    // space happens between batches, so fresh (unlocked) lock arrays are
+    // equivalent to the old ones.
+    out_locks_ = std::make_unique<Spinlock[]>(n);
+    in_locks_ = std::make_unique<Spinlock[]>(n);
+}
+
+ApplyResult
+AdjacencyList::apply_insert(VertexId v, Neighbor nbr, Direction dir)
+{
+    IGS_DCHECK(v < out_.size());
+    auto& edges = dir == Direction::kOut ? out_[v] : in_[v];
+    ApplyResult r;
+    r.len_before = static_cast<std::uint32_t>(edges.size());
+    for (Neighbor& e : edges) {
+        ++r.probes;
+        if (e.id == nbr.id) {
+            e.weight += nbr.weight;
+            r.found = true;
+            return r;
+        }
+    }
+    edges.push_back(nbr);
+    if (dir == Direction::kOut) {
+        num_edges_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return r;
+}
+
+ApplyResult
+AdjacencyList::apply_remove(VertexId v, VertexId nbr_id, Direction dir)
+{
+    IGS_DCHECK(v < out_.size());
+    auto& edges = dir == Direction::kOut ? out_[v] : in_[v];
+    ApplyResult r;
+    r.len_before = static_cast<std::uint32_t>(edges.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        ++r.probes;
+        if (edges[i].id == nbr_id) {
+            edges[i] = edges.back();
+            edges.pop_back();
+            r.found = true;
+            if (dir == Direction::kOut) {
+                num_edges_.fetch_sub(1, std::memory_order_relaxed);
+            }
+            return r;
+        }
+    }
+    return r;
+}
+
+void
+AdjacencyList::note_edges_added(Direction dir, EdgeId n)
+{
+    if (dir == Direction::kOut) {
+        num_edges_.fetch_add(n, std::memory_order_relaxed);
+    }
+}
+
+void
+AdjacencyList::note_edges_removed(Direction dir, EdgeId n)
+{
+    if (dir == Direction::kOut) {
+        num_edges_.fetch_sub(n, std::memory_order_relaxed);
+    }
+}
+
+std::vector<Neighbor>
+AdjacencyList::sorted_edges(VertexId v, Direction dir) const
+{
+    std::vector<Neighbor> copy = edges(v, dir);
+    std::sort(copy.begin(), copy.end(),
+              [](const Neighbor& a, const Neighbor& b) { return a.id < b.id; });
+    return copy;
+}
+
+bool
+AdjacencyList::same_topology(const AdjacencyList& other) const
+{
+    if (num_vertices() != other.num_vertices()) {
+        return false;
+    }
+    for (VertexId v = 0; v < num_vertices(); ++v) {
+        for (Direction dir : {Direction::kOut, Direction::kIn}) {
+            const auto a = sorted_edges(v, dir);
+            const auto b = other.sorted_edges(v, dir);
+            if (a.size() != b.size()) {
+                return false;
+            }
+            for (std::size_t i = 0; i < a.size(); ++i) {
+                if (a[i].id != b[i].id ||
+                    std::abs(a[i].weight - b[i].weight) > 1e-4f) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace igs::graph

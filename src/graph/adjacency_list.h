@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Adjacency-list dynamic graph structure ("AS" in the paper / SAGA-Bench).
+ *
+ * Per vertex, two growable edge arrays (out- and in-neighbors) plus a
+ * per-vertex/per-direction lock used only by the baseline (non-reordered)
+ * update path.  Duplicate checking is a linear scan of the vertex's edge
+ * array — the cost the paper's USC and HAU techniques target.
+ *
+ * Engine-wide update semantics (shared by every update path so they can be
+ * cross-checked for equivalence):
+ *  - inserting an edge that already exists *accumulates* its weight
+ *    (commutative, hence deterministic under any parallel schedule);
+ *  - each batch applies all insertions before any deletions (the paper's
+ *    HAU ordering rule, adopted globally);
+ *  - deletion of a non-existent edge is a no-op.
+ *
+ * The structure also carries the per-vertex `latest_bid` field the paper
+ * adds for OCA's inter-batch overlap measurement (§5).
+ */
+#ifndef IGS_GRAPH_ADJACENCY_LIST_H
+#define IGS_GRAPH_ADJACENCY_LIST_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/spinlock.h"
+#include "common/types.h"
+
+namespace igs::graph {
+
+/** Outcome of a single duplicate-check-and-apply operation. */
+struct ApplyResult {
+    /** True if the edge already existed (weight accumulated / deletable). */
+    bool found = false;
+    /** Elements examined by the duplicate-check scan. */
+    std::uint32_t probes = 0;
+    /** Edge-array length *before* the operation (drives lock-cost models). */
+    std::uint32_t len_before = 0;
+};
+
+/** Dynamic directed graph stored as per-vertex adjacency arrays. */
+class AdjacencyList {
+  public:
+    /** Create a graph over vertices [0, num_vertices). */
+    explicit AdjacencyList(std::size_t num_vertices = 0);
+
+    /** Movable (single-threaded only — not during a parallel update). */
+    AdjacencyList(AdjacencyList&& other) noexcept
+        : out_(std::move(other.out_)), in_(std::move(other.in_)),
+          out_locks_(std::move(other.out_locks_)),
+          in_locks_(std::move(other.in_locks_)),
+          latest_bid_(std::move(other.latest_bid_)),
+          latest_bid_size_(other.latest_bid_size_),
+          num_edges_(other.num_edges_.load(std::memory_order_relaxed))
+    {
+    }
+
+    /** Number of vertex slots. */
+    std::size_t num_vertices() const { return out_.size(); }
+
+    /** Total directed edge count (each streamed edge contributes one
+     *  out-entry and one in-entry; this counts out-entries). */
+    EdgeId num_edges() const { return num_edges_; }
+
+    /**
+     * Grow the vertex space to at least `n` slots.  Must be called
+     * single-threaded (between batches); existing edges are preserved.
+     */
+    void ensure_vertices(std::size_t n);
+
+    /**
+     * Duplicate-check then insert `nbr` into `v`'s `dir` edge array.
+     * If present, accumulates the weight.  Caller is responsible for
+     * synchronization (see `lock()`).
+     */
+    ApplyResult apply_insert(VertexId v, Neighbor nbr, Direction dir);
+
+    /**
+     * Remove the edge to `nbr_id` from `v`'s `dir` edge array if present
+     * (swap-with-last removal; edge order is not meaningful).
+     */
+    ApplyResult apply_remove(VertexId v, VertexId nbr_id, Direction dir);
+
+    /** Per-vertex/per-direction lock for the baseline update path. */
+    Spinlock&
+    lock(VertexId v, Direction dir)
+    {
+        return dir == Direction::kOut ? out_locks_[v]
+                                      : in_locks_[v];
+    }
+
+    /** Degree of `v` in direction `dir`. */
+    std::uint32_t
+    degree(VertexId v, Direction dir) const
+    {
+        const auto& e = dir == Direction::kOut ? out_[v] : in_[v];
+        return static_cast<std::uint32_t>(e.size());
+    }
+
+    /** Immutable view of `v`'s edge array. */
+    const std::vector<Neighbor>&
+    edges(VertexId v, Direction dir) const
+    {
+        return dir == Direction::kOut ? out_[v] : in_[v];
+    }
+
+    /**
+     * Mutable access to `v`'s edge array, for coalesced (USC) and
+     * simulated-hardware (HAU) update paths that manage their own scans.
+     * The caller must keep `num_edges` consistent via
+     * `note_edges_added`/`note_edges_removed`.
+     */
+    std::vector<Neighbor>&
+    edges_mut(VertexId v, Direction dir)
+    {
+        return dir == Direction::kOut ? out_[v] : in_[v];
+    }
+
+    /** Bookkeeping hooks for paths using `edges_mut` (out-direction only
+     *  counts toward `num_edges`). */
+    void note_edges_added(Direction dir, EdgeId n);
+    void note_edges_removed(Direction dir, EdgeId n);
+
+    /** OCA support: batch id in which `v` last appeared as a source. */
+    std::uint64_t
+    latest_bid(VertexId v) const
+    {
+        return latest_bid_[v].load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Atomically set `v`'s latest batch id, returning the previous value.
+     * The exchange makes OCA's "first touch in this batch" detection
+     * exactly-once under parallel updates.
+     */
+    std::uint64_t
+    exchange_latest_bid(VertexId v, std::uint64_t bid)
+    {
+        return latest_bid_[v].exchange(bid, std::memory_order_relaxed);
+    }
+
+    /** Sorted copy of an edge array (test/diff helper). */
+    std::vector<Neighbor> sorted_edges(VertexId v, Direction dir) const;
+
+    /** Structural equality against another graph (order-insensitive). */
+    bool same_topology(const AdjacencyList& other) const;
+
+  private:
+    std::vector<std::vector<Neighbor>> out_;
+    std::vector<std::vector<Neighbor>> in_;
+    std::unique_ptr<Spinlock[]> out_locks_;
+    std::unique_ptr<Spinlock[]> in_locks_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> latest_bid_;
+    std::size_t latest_bid_size_ = 0;
+    std::atomic<EdgeId> num_edges_{0};
+};
+
+} // namespace igs::graph
+
+#endif // IGS_GRAPH_ADJACENCY_LIST_H

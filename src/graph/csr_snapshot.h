@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Immutable CSR snapshot of a dynamic graph.
+ *
+ * The compute phase (static PageRank/SSSP, GAP-style) runs on a compressed
+ * sparse row view built from the latest state of the dynamic structure.
+ * Incremental algorithms also consult the snapshot for neighborhood
+ * iteration while keeping their own per-vertex state across batches.
+ */
+#ifndef IGS_GRAPH_CSR_SNAPSHOT_H
+#define IGS_GRAPH_CSR_SNAPSHOT_H
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace igs::graph {
+
+/** Compressed sparse row view of one direction of a graph. */
+class CsrSnapshot {
+  public:
+    CsrSnapshot() = default;
+
+    /**
+     * Build from any dynamic structure exposing `num_vertices()`,
+     * `degree(v, dir)` and `sorted_edges(v, dir)`.
+     *
+     * @param dir which edge direction to materialize: kOut gives rows of
+     *        out-neighbors, kIn rows of in-neighbors.
+     */
+    template <typename Graph>
+    static CsrSnapshot
+    build(const Graph& g, Direction dir)
+    {
+        CsrSnapshot s;
+        const std::size_t n = g.num_vertices();
+        s.offsets_.resize(n + 1, 0);
+        for (VertexId v = 0; v < n; ++v) {
+            s.offsets_[v + 1] = s.offsets_[v] + g.degree(v, dir);
+        }
+        s.neighbors_.resize(s.offsets_[n]);
+        for (VertexId v = 0; v < n; ++v) {
+            const auto edges = g.sorted_edges(v, dir);
+            std::copy(edges.begin(), edges.end(),
+                      s.neighbors_.begin() +
+                          static_cast<std::ptrdiff_t>(s.offsets_[v]));
+        }
+        return s;
+    }
+
+    std::size_t
+    num_vertices() const
+    {
+        return offsets_.empty() ? 0 : offsets_.size() - 1;
+    }
+
+    EdgeId num_edges() const { return neighbors_.size(); }
+
+    std::uint32_t
+    degree(VertexId v) const
+    {
+        return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+    }
+
+    /** Neighbors of `v` (sorted by id). */
+    std::span<const Neighbor>
+    neighbors(VertexId v) const
+    {
+        return {neighbors_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+    }
+
+  private:
+    std::vector<EdgeId> offsets_;
+    std::vector<Neighbor> neighbors_;
+};
+
+} // namespace igs::graph
+
+#endif // IGS_GRAPH_CSR_SNAPSHOT_H

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Degree-Aware Hashing (DAH) dynamic graph structure.
+ *
+ * The alternative SAGA-Bench structure the paper compares against in
+ * §6.2.3: low-degree vertices keep a plain edge array (cache-friendly, no
+ * hashing overhead); once a vertex's degree crosses a threshold its edge set
+ * is migrated into an open-addressed hash table so duplicate checks become
+ * O(1) instead of an O(degree) scan.
+ *
+ * Same engine-wide update semantics as @ref igs::graph::AdjacencyList
+ * (weight accumulation on duplicates, insertions before deletions).
+ */
+#ifndef IGS_GRAPH_DEGREE_AWARE_HASH_H
+#define IGS_GRAPH_DEGREE_AWARE_HASH_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/spinlock.h"
+#include "common/types.h"
+#include "graph/adjacency_list.h"
+
+namespace igs::graph {
+
+/**
+ * Per-vertex edge container that is an array below `kHashThreshold` and an
+ * open-addressed hash table above it.
+ */
+class DahEdgeSet {
+  public:
+    /** Degree at which a vertex migrates from array to hash storage. */
+    static constexpr std::uint32_t kHashThreshold = 32;
+
+    /** See AdjacencyList::apply_insert. */
+    ApplyResult insert(Neighbor nbr);
+    /** See AdjacencyList::apply_remove. */
+    ApplyResult remove(VertexId nbr_id);
+
+    std::uint32_t size() const { return count_; }
+    bool hashed() const { return !table_.empty(); }
+
+    /** Visit every stored neighbor. */
+    template <typename Fn>
+    void
+    for_each(Fn&& fn) const
+    {
+        if (table_.empty()) {
+            for (const Neighbor& n : array_) {
+                fn(n);
+            }
+        } else {
+            for (const auto& slot : table_) {
+                if (slot.id != kInvalidVertex) {
+                    fn(Neighbor{slot.id, slot.weight});
+                }
+            }
+        }
+    }
+
+    /** Sorted materialized copy (tests / CSR building). */
+    std::vector<Neighbor> sorted() const;
+
+  private:
+    struct Slot {
+        VertexId id = kInvalidVertex;
+        Weight weight = 0.0f;
+    };
+
+    void migrate_to_hash();
+    void grow_table();
+    ApplyResult hash_insert(Neighbor nbr);
+
+    static std::uint64_t
+    hash_id(VertexId id)
+    {
+        std::uint64_t x = id;
+        x ^= x >> 16;
+        x *= 0x7feb352dull;
+        x ^= x >> 15;
+        x *= 0x846ca68bull;
+        x ^= x >> 16;
+        return x;
+    }
+
+    std::vector<Neighbor> array_;
+    std::vector<Slot> table_; // empty until migrated
+    std::uint32_t count_ = 0;
+};
+
+/** Dynamic directed graph with degree-aware hashed edge sets. */
+class DegreeAwareHash {
+  public:
+    explicit DegreeAwareHash(std::size_t num_vertices = 0);
+
+    /** Movable (single-threaded only — not during a parallel update). */
+    DegreeAwareHash(DegreeAwareHash&& other) noexcept
+        : out_(std::move(other.out_)), in_(std::move(other.in_)),
+          out_locks_(std::move(other.out_locks_)),
+          in_locks_(std::move(other.in_locks_)),
+          latest_bid_(std::move(other.latest_bid_)),
+          latest_bid_size_(other.latest_bid_size_),
+          num_edges_(other.num_edges_.load(std::memory_order_relaxed))
+    {
+    }
+
+    std::size_t num_vertices() const { return out_.size(); }
+    EdgeId num_edges() const { return num_edges_; }
+
+    /** Grow vertex space (single-threaded, between batches). */
+    void ensure_vertices(std::size_t n);
+
+    ApplyResult apply_insert(VertexId v, Neighbor nbr, Direction dir);
+    ApplyResult apply_remove(VertexId v, VertexId nbr_id, Direction dir);
+
+    Spinlock&
+    lock(VertexId v, Direction dir)
+    {
+        return dir == Direction::kOut ? out_locks_[v]
+                                      : in_locks_[v];
+    }
+
+    std::uint32_t
+    degree(VertexId v, Direction dir) const
+    {
+        return (dir == Direction::kOut ? out_[v] : in_[v]).size();
+    }
+
+    const DahEdgeSet&
+    edge_set(VertexId v, Direction dir) const
+    {
+        return dir == Direction::kOut ? out_[v] : in_[v];
+    }
+
+    /** Sorted copy of a vertex's edges (tests / snapshots). */
+    std::vector<Neighbor>
+    sorted_edges(VertexId v, Direction dir) const
+    {
+        return edge_set(v, dir).sorted();
+    }
+
+    /** See AdjacencyList::latest_bid / exchange_latest_bid. */
+    std::uint64_t
+    latest_bid(VertexId v) const
+    {
+        return latest_bid_[v].load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    exchange_latest_bid(VertexId v, std::uint64_t bid)
+    {
+        return latest_bid_[v].exchange(bid, std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<DahEdgeSet> out_;
+    std::vector<DahEdgeSet> in_;
+    std::unique_ptr<Spinlock[]> out_locks_;
+    std::unique_ptr<Spinlock[]> in_locks_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> latest_bid_;
+    std::size_t latest_bid_size_ = 0;
+    std::atomic<EdgeId> num_edges_{0};
+};
+
+} // namespace igs::graph
+
+#endif // IGS_GRAPH_DEGREE_AWARE_HASH_H

@@ -1,0 +1,120 @@
+#include "graph/indexed_adjacency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace igs::graph {
+
+IndexedAdjacency::IndexedAdjacency(std::size_t num_vertices)
+{
+    ensure_vertices(num_vertices);
+}
+
+void
+IndexedAdjacency::ensure_vertices(std::size_t n)
+{
+    if (n <= out_.size()) {
+        return;
+    }
+    out_.resize(n);
+    in_.resize(n);
+    auto new_bids = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+    for (std::size_t i = 0; i < latest_bid_size_; ++i) {
+        new_bids[i].store(latest_bid_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    }
+    latest_bid_ = std::move(new_bids);
+    latest_bid_size_ = n;
+}
+
+ApplyResult
+IndexedAdjacency::apply_insert(VertexId v, Neighbor nbr, Direction dir)
+{
+    IGS_DCHECK(v < out_.size());
+    auto& edges = dir == Direction::kOut ? out_[v] : in_[v];
+    auto& index = dir == Direction::kOut ? out_index_ : in_index_;
+    ApplyResult r;
+    r.len_before = static_cast<std::uint32_t>(edges.size());
+    const std::uint64_t key = key_of(v, nbr.id);
+    auto [it, inserted] = index.try_emplace(key, r.len_before);
+    if (!inserted) {
+        // Modeled scan stops at the match position.
+        r.found = true;
+        r.probes = it->second + 1;
+        edges[it->second].weight += nbr.weight;
+        return r;
+    }
+    // Modeled scan walks the whole array before appending.
+    r.probes = r.len_before;
+    edges.push_back(nbr);
+    if (dir == Direction::kOut) {
+        ++num_edges_;
+    }
+    return r;
+}
+
+ApplyResult
+IndexedAdjacency::apply_remove(VertexId v, VertexId nbr_id, Direction dir)
+{
+    IGS_DCHECK(v < out_.size());
+    auto& edges = dir == Direction::kOut ? out_[v] : in_[v];
+    auto& index = dir == Direction::kOut ? out_index_ : in_index_;
+    ApplyResult r;
+    r.len_before = static_cast<std::uint32_t>(edges.size());
+    const auto it = index.find(key_of(v, nbr_id));
+    if (it == index.end()) {
+        r.probes = r.len_before;
+        return r;
+    }
+    const std::uint32_t pos = it->second;
+    r.found = true;
+    r.probes = pos + 1;
+    index.erase(it);
+    // Swap-with-last removal, mirroring AdjacencyList; keep the moved
+    // neighbor's index entry coherent.
+    const std::uint32_t last = r.len_before - 1;
+    if (pos != last) {
+        edges[pos] = edges[last];
+        index[key_of(v, edges[pos].id)] = pos;
+    }
+    edges.pop_back();
+    if (dir == Direction::kOut) {
+        --num_edges_;
+    }
+    return r;
+}
+
+std::vector<Neighbor>
+IndexedAdjacency::sorted_edges(VertexId v, Direction dir) const
+{
+    std::vector<Neighbor> copy = edges(v, dir);
+    std::sort(copy.begin(), copy.end(),
+              [](const Neighbor& a, const Neighbor& b) { return a.id < b.id; });
+    return copy;
+}
+
+bool
+IndexedAdjacency::same_topology(const AdjacencyList& other) const
+{
+    if (num_vertices() != other.num_vertices()) {
+        return false;
+    }
+    for (VertexId v = 0; v < num_vertices(); ++v) {
+        for (Direction dir : {Direction::kOut, Direction::kIn}) {
+            const auto a = sorted_edges(v, dir);
+            const auto b = other.sorted_edges(v, dir);
+            if (a.size() != b.size()) {
+                return false;
+            }
+            for (std::size_t i = 0; i < a.size(); ++i) {
+                if (a[i].id != b[i].id ||
+                    std::abs(a[i].weight - b[i].weight) > 1e-4f) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace igs::graph

@@ -1,0 +1,114 @@
+#include "sim/cache.h"
+
+namespace igs::sim {
+
+namespace {
+
+std::uint32_t
+round_down_pow2(std::uint32_t v)
+{
+    std::uint32_t p = 1;
+    while (p * 2 <= v) {
+        p *= 2;
+    }
+    return p;
+}
+
+} // namespace
+
+Cache::Cache(std::uint32_t bytes, std::uint32_t ways, std::uint32_t line_bytes)
+    : ways_(ways)
+{
+    IGS_CHECK(bytes > 0 && ways > 0 && line_bytes > 0);
+    const std::uint32_t lines = bytes / line_bytes;
+    IGS_CHECK(lines >= ways);
+    num_sets_ = round_down_pow2(lines / ways);
+    ways_storage_.resize(static_cast<std::size_t>(num_sets_) * ways_);
+}
+
+bool
+Cache::lookup(LineAddr line)
+{
+    Way* set = &ways_storage_[set_index(line) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].line == line) {
+            set[w].lru = ++tick_;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+LineAddr
+Cache::fill(LineAddr line)
+{
+    Way* set = &ways_storage_[set_index(line) * ways_];
+    Way* victim = &set[0];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].line == line) {
+            set[w].lru = ++tick_;
+            return ~0ull; // already present
+        }
+        if (set[w].lru < victim->lru) {
+            victim = &set[w];
+        }
+    }
+    const LineAddr evicted = victim->line;
+    victim->line = line;
+    victim->lru = ++tick_;
+    return evicted;
+}
+
+bool
+Cache::contains(LineAddr line) const
+{
+    const Way* set = &ways_storage_[set_index(line) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].line == line) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cache::invalidate(LineAddr line)
+{
+    Way* set = &ways_storage_[set_index(line) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].line == line) {
+            set[w].line = ~0ull;
+            set[w].lru = 0;
+            return;
+        }
+    }
+}
+
+CoreCacheHierarchy::CoreCacheHierarchy(const MachineParams& m)
+    : l1_(m.l1_bytes, m.l1_ways, m.line_bytes),
+      l2_(m.l2_bytes, m.l2_ways, m.line_bytes)
+{
+}
+
+bool
+CoreCacheHierarchy::hit_l1(LineAddr line)
+{
+    return l1_.lookup(line);
+}
+
+bool
+CoreCacheHierarchy::hit_l2(LineAddr line)
+{
+    return l2_.lookup(line);
+}
+
+void
+CoreCacheHierarchy::fill_private(LineAddr line)
+{
+    l2_.fill(line);
+    l1_.fill(line);
+}
+
+} // namespace igs::sim

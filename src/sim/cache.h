@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Set-associative cache models for the HAU timing path.
+ *
+ * A @ref Cache is one level (set-associative, true-LRU).  A
+ * @ref CoreCacheHierarchy stacks a private L1D and L2 above a shared NUCA
+ * L3 slice; @ref access walks the hierarchy, fills on miss (allocate-on-
+ * fill) and returns where the line was found.  The model tracks contents
+ * only (tag state), not data, and charges latencies from
+ * @ref MachineParams.
+ */
+#ifndef IGS_SIM_CACHE_H
+#define IGS_SIM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "sim/machine.h"
+
+namespace igs::sim {
+
+/** 64-bit line address (byte address >> 6). */
+using LineAddr = std::uint64_t;
+
+/** Where an access was satisfied. */
+enum class HitLevel : std::uint8_t { kL1, kL2, kL3, kMemory };
+
+/** One set-associative, true-LRU cache level. */
+class Cache {
+  public:
+    /**
+     * @param bytes total capacity
+     * @param ways  associativity
+     * @param line_bytes line size
+     */
+    Cache(std::uint32_t bytes, std::uint32_t ways, std::uint32_t line_bytes);
+
+    /** Look up `line`; on hit, promote to MRU and return true. */
+    bool lookup(LineAddr line);
+
+    /** Install `line` (evicting LRU if needed); returns evicted line or
+     *  ~0ull if none. */
+    LineAddr fill(LineAddr line);
+
+    /** True if `line` is currently resident (no LRU update). */
+    bool contains(LineAddr line) const;
+
+    /** Drop a line if present (back-invalidation support). */
+    void invalidate(LineAddr line);
+
+    std::uint32_t num_sets() const { return num_sets_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Way {
+        LineAddr line = ~0ull;
+        std::uint64_t lru = 0; // larger = more recent
+    };
+
+    std::size_t set_index(LineAddr line) const { return line & (num_sets_ - 1); }
+
+    std::uint32_t num_sets_;
+    std::uint32_t ways_;
+    std::vector<Way> ways_storage_; // num_sets_ * ways_
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/** Outcome of a hierarchical access. */
+struct AccessResult {
+    HitLevel level = HitLevel::kL1;
+    Cycles latency = 0;
+};
+
+/**
+ * The private caches of one core plus a pointer to its L3 slice.
+ * L3 slices are owned by @ref MemorySystem.
+ */
+class CoreCacheHierarchy {
+  public:
+    CoreCacheHierarchy(const MachineParams& m);
+
+    /**
+     * Access a line through L1 -> L2; returns nullopt-equivalent miss if it
+     * must go to L3 (caller resolves the slice).  On L3/memory resolution,
+     * call `fill_private` to install the line.
+     */
+    bool hit_l1(LineAddr line);
+    bool hit_l2(LineAddr line);
+    void fill_private(LineAddr line);
+
+    const Cache& l1() const { return l1_; }
+    const Cache& l2() const { return l2_; }
+
+  private:
+    Cache l1_;
+    Cache l2_;
+};
+
+} // namespace igs::sim
+
+#endif // IGS_SIM_CACHE_H

@@ -1,0 +1,83 @@
+#include "sim/exec_sim.h"
+
+#include <algorithm>
+
+namespace igs::sim {
+
+ExecSim::ExecSim(std::uint32_t num_workers, std::size_t num_lock_keys)
+    : num_workers_(num_workers)
+{
+    IGS_CHECK(num_workers >= 1);
+    worker_time_.assign(num_workers, 0.0);
+    lock_available_.assign(num_lock_keys, 0.0);
+}
+
+void
+ExecSim::ensure_lock_keys(std::size_t num_lock_keys)
+{
+    if (num_lock_keys > lock_available_.size()) {
+        lock_available_.resize(num_lock_keys, 0.0);
+    }
+}
+
+std::uint32_t
+ExecSim::pick_earliest_worker() const
+{
+    std::uint32_t best = 0;
+    for (std::uint32_t w = 1; w < num_workers_; ++w) {
+        if (worker_time_[w] < worker_time_[best]) {
+            best = w;
+        }
+    }
+    return best;
+}
+
+void
+ExecSim::begin_task(double cycles)
+{
+    current_worker_ = pick_earliest_worker();
+    worker_time_[current_worker_] += cycles;
+}
+
+void
+ExecSim::charge(double cycles)
+{
+    worker_time_[current_worker_] += cycles;
+}
+
+double
+ExecSim::locked(std::size_t lock_key, double lock_overhead, double cycles)
+{
+    IGS_DCHECK(lock_key < lock_available_.size());
+    double& t = worker_time_[current_worker_];
+    t += lock_overhead;
+    const double acquire = std::max(t, lock_available_[lock_key]);
+    const double wait = acquire - t;
+    total_lock_wait_ += wait;
+    const double release = acquire + cycles;
+    lock_available_[lock_key] = release;
+    t = release;
+    return wait;
+}
+
+void
+ExecSim::charge_all(double cycles)
+{
+    for (double& t : worker_time_) {
+        t += cycles;
+    }
+}
+
+void
+ExecSim::end_phase()
+{
+    double m = 0.0;
+    for (double t : worker_time_) {
+        m = std::max(m, t);
+    }
+    for (double& t : worker_time_) {
+        t = m;
+    }
+}
+
+} // namespace igs::sim

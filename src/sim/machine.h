@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Machine and cost-model parameters.
+ *
+ * @ref MachineParams mirrors the paper's Table 1 (the Sniper baseline used
+ * for HAU evaluation).  @ref SwCostParams holds the per-operation cycle
+ * costs the software-update timing model charges; DESIGN.md explains why
+ * simulated cycles, not host wall-clock, are the primary metric (the host
+ * has one core; the paper's effects are contention effects).
+ *
+ * The software cost constants were chosen so that single-threaded update
+ * throughput lands in the hundreds-of-cycles-per-edge regime measured for
+ * adjacency-list streaming ingestion on Skylake-class parts, and are held
+ * fixed across every experiment — all reported numbers are *ratios* between
+ * update paths under identical constants.
+ */
+#ifndef IGS_SIM_MACHINE_H
+#define IGS_SIM_MACHINE_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace igs::sim {
+
+/** Table-1 simulated architecture. */
+struct MachineParams {
+    // Cores.
+    std::uint32_t num_cores = 16;
+    double ghz = 2.5;
+
+    // L1D: 32KB private, 8-way, 3 cycles.
+    std::uint32_t l1_bytes = 32 * 1024;
+    std::uint32_t l1_ways = 8;
+    Cycles l1_latency = 3;
+
+    // L2: 256KB private, 8-way, 8 cycles.
+    std::uint32_t l2_bytes = 256 * 1024;
+    std::uint32_t l2_ways = 8;
+    Cycles l2_latency = 8;
+
+    // L3: 16MB NUCA, 2MB slices, 16-way, 8-cycle bank access.
+    std::uint32_t l3_slice_bytes = 2 * 1024 * 1024;
+    std::uint32_t l3_ways = 16;
+    Cycles l3_bank_latency = 8;
+
+    // NoC: 4x4 mesh, 2-cycle hop, 256 bits/cycle per link per direction.
+    std::uint32_t mesh_dim = 4;
+    Cycles noc_hop_latency = 2;
+    std::uint32_t noc_link_bytes_per_cycle = 32;
+
+    // DRAM: 4 controllers, 17GB/s each, 40ns device access.
+    std::uint32_t dram_controllers = 4;
+    double dram_gbps_per_controller = 17.0;
+    Cycles dram_device_latency = 100; // 40ns at 2.5GHz
+
+    // Cache line.
+    std::uint32_t line_bytes = 64;
+
+    // MSHRs (reference interface + the paper's HAU additions).
+    std::uint32_t baseline_mshrs = 10;
+    std::uint32_t task_mshrs = 10;     // "ten new MSHR entries (2x increase)"
+    std::uint32_t hau_fifo_entries = 32; // two 32-entry FIFO buffers
+};
+
+/** Per-operation cycle costs for the software update paths. */
+struct SwCostParams {
+    /** Scan cost per edge-array element examined (in-cache streaming). */
+    double probe = 1.2;
+    /** Memory-system cost per cacheline touched by a *vertex-centric* scan
+     *  (RO/USC): one thread owns the vertex's array, so repeat touches hit
+     *  its private caches (average of L2/L3/DRAM mix). */
+    double line_touch = 22.0;
+    /** Per-cacheline cost of a scan under a per-vertex lock in the
+     *  edge-centric baseline: the array's lines ping-pong between the
+     *  cores updating the vertex, so most touches are coherence misses
+     *  served from remote caches.  (HAU removes exactly these remote
+     *  accesses — paper §6.2.3 / Fig 20.) */
+    double line_touch_shared = 95.0;
+    /** Edge-array elements per cacheline (8-byte Neighbor, 64B lines). */
+    double elems_per_line = 8.0;
+    /** Append an edge (amortized realloc included). */
+    double insert = 22.0;
+    /** Weight accumulate on a duplicate. */
+    double weight_update = 8.0;
+    /** Remove an edge (swap with last). */
+    double remove = 18.0;
+    /** Acquire+release an uncontended per-vertex spinlock (two atomic RMWs
+     *  plus fences). */
+    double lock_acquire = 46.0;
+    /** Per-edge loop bookkeeping in the edge-centric baseline. */
+    double task_overhead = 10.0;
+    /** Claim of one dynamic-scheduling chunk. */
+    double chunk_overhead = 55.0;
+    /** Per-vertex-run scheduling in the reordered path (the paper's "extra
+     *  scheduling overheads" of lock elimination). */
+    double run_overhead = 85.0;
+    /** Stable sort: cycles per element per log2-level (single thread). */
+    double sort_per_elem_level = 6.0;
+    /** Parallel-sort efficiency (merge tail, work imbalance). */
+    double sort_parallel_efficiency = 0.70;
+    /** Fixed cost per sort invocation (buffer setup, fork/join). */
+    double sort_fixed = 12000.0;
+    /** Fixed cost per update pass (parallel-region fork/join; the
+     *  reordered path pays it twice per batch, the baseline once — a key
+     *  contributor to RO's losses on small batches). */
+    double pass_setup = 12000.0;
+    /** USC: insert one edge into the run's hash table. */
+    double hash_build = 15.0;
+    /** USC: one hash lookup per scanned edge-array element. */
+    double hash_probe = 7.0;
+
+    /** Cachelines covering `n` consecutive 8-byte elements. */
+    double
+    lines(double n) const
+    {
+        return n <= 0 ? 0.0 : 1.0 + (n - 1.0) / elems_per_line;
+    }
+};
+
+/** Cycle costs of the HAU hardware path (paper §4.4). */
+struct HauCostParams {
+    /** supply_task instruction + NoC injection at the producing core. */
+    double supply_task = 6.0;
+    /** fetch_task + FIFO pop + scan-engine setup at the consuming core. */
+    double task_setup = 10.0;
+    /** Dedicated-logic compare of one cacheline (8 elements) — replaces 8+
+     *  CPU search instructions. */
+    double line_scan = 2.0;
+    /**
+     * Per-line *throughput* cost of the controller's fetch pipeline.  The
+     * controller drains its FIFO back to back and the task MSHRs let line
+     * fetches overlap with scanning, so consumption is bandwidth-bound,
+     * not latency-bound; the hit level (tracked through the cache model)
+     * adds the extra terms below rather than its full latency.
+     */
+    double line_throughput = 10.0;
+    /** Extra throughput cost when the line came from DRAM. */
+    double dram_extra = 20.0;
+    /** Fraction of a remote line's NoC latency that the pipeline cannot
+     *  hide. */
+    double remote_exposed = 0.5;
+    /**
+     * Fraction of an L3/DRAM line's latency exposed on the second and
+     * later lines of one task's scan.  The engine pipelines a few lines
+     * ahead within a scan, partially hiding off-chip latency; L1/L2 hits
+     * are already cheap and unaffected.
+     */
+    double within_task_exposed = 0.35;
+    /** Handing a write back to the core + append. */
+    double core_append = 30.0;
+    /** Probability a line fetch crosses to another tile due to allocator
+     *  boundary sharing (models the paper's observed 1-2% non-local
+     *  accesses; see DESIGN.md). */
+    double boundary_remote_prob = 0.015;
+};
+
+} // namespace igs::sim
+
+#endif // IGS_SIM_MACHINE_H

@@ -1,0 +1,128 @@
+#include "sim/noc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace igs::sim {
+
+NocModel::NocModel(const MachineParams& m)
+    : dim_(m.mesh_dim),
+      hop_latency_(m.noc_hop_latency),
+      link_bytes_per_cycle_(m.noc_link_bytes_per_cycle)
+{
+    IGS_CHECK(dim_ >= 1);
+    // 4 directed links per node is an upper bound; index by (node, dir).
+    link_flits_.assign(static_cast<std::size_t>(dim_) * dim_ * 4, 0.0);
+    stats_[0].resize(static_cast<std::size_t>(dim_) * dim_);
+    stats_[1].resize(static_cast<std::size_t>(dim_) * dim_);
+}
+
+std::uint32_t
+NocModel::hops(std::uint32_t from, std::uint32_t to) const
+{
+    const auto dx = static_cast<std::int32_t>(x_of(from)) -
+                    static_cast<std::int32_t>(x_of(to));
+    const auto dy = static_cast<std::int32_t>(y_of(from)) -
+                    static_cast<std::int32_t>(y_of(to));
+    return static_cast<std::uint32_t>(std::abs(dx) + std::abs(dy));
+}
+
+std::size_t
+NocModel::link_id(std::uint32_t a, std::uint32_t b) const
+{
+    // Direction encoding: 0=+x, 1=-x, 2=+y, 3=-y.
+    std::uint32_t dir = 0;
+    if (x_of(b) == x_of(a) + 1) {
+        dir = 0;
+    } else if (x_of(a) == x_of(b) + 1) {
+        dir = 1;
+    } else if (y_of(b) == y_of(a) + 1) {
+        dir = 2;
+    } else {
+        dir = 3;
+    }
+    return static_cast<std::size_t>(a) * 4 + dir;
+}
+
+double
+NocModel::route(std::uint32_t from, std::uint32_t to, std::uint32_t flits)
+{
+    // XY routing: travel x first, then y; accumulate a queueing penalty
+    // from the utilization of each traversed link.
+    double queue_delay = 0.0;
+    std::uint32_t cur = from;
+    const double window = static_cast<double>(std::max<Cycles>(window_end_, 1));
+    auto traverse = [&](std::uint32_t next) {
+        const std::size_t id = link_id(cur, next);
+        const double util =
+            std::min(0.95, link_flits_[id] / window);
+        // M/M/1-style waiting factor, scaled to one hop's service time.
+        queue_delay += util / (1.0 - util) * static_cast<double>(hop_latency_);
+        link_flits_[id] += flits;
+        cur = next;
+    };
+    while (x_of(cur) != x_of(to)) {
+        const std::uint32_t next =
+            x_of(cur) < x_of(to) ? cur + 1 : cur - 1;
+        traverse(next);
+    }
+    while (y_of(cur) != y_of(to)) {
+        const std::uint32_t next =
+            y_of(cur) < y_of(to) ? cur + dim_ : cur - dim_;
+        traverse(next);
+    }
+    return queue_delay;
+}
+
+Cycles
+NocModel::send(std::uint32_t from, std::uint32_t to, std::uint32_t bytes,
+               PacketClass cls, Cycles now)
+{
+    observe_time(now);
+    const std::uint32_t flit_count =
+        std::max<std::uint32_t>(1, (bytes + link_bytes_per_cycle_ - 1) /
+                                       link_bytes_per_cycle_);
+    flits_[static_cast<int>(cls)] += flit_count;
+
+    if (from == to) {
+        // Local tile: no network traversal, just the interface crossing.
+        auto& s = stats_[static_cast<int>(cls)][from];
+        ++s.packets;
+        s.total_latency += 1.0;
+        return 1;
+    }
+
+    const std::uint32_t h = hops(from, to);
+    const double queue_delay = route(from, to, flit_count);
+    const double latency = static_cast<double>(h) * hop_latency_ +
+                           (flit_count - 1) + queue_delay + 1.0;
+    auto& s = stats_[static_cast<int>(cls)][from];
+    ++s.packets;
+    s.total_latency += latency;
+    return static_cast<Cycles>(latency);
+}
+
+void
+NocModel::observe_time(Cycles now)
+{
+    window_end_ = std::max(window_end_, now);
+}
+
+const std::vector<CoreNocStats>&
+NocModel::core_stats(PacketClass cls) const
+{
+    return stats_[static_cast<int>(cls)];
+}
+
+double
+NocModel::mean_link_utilization() const
+{
+    double total = 0.0;
+    for (double f : link_flits_) {
+        total += f;
+    }
+    const double window = static_cast<double>(std::max<Cycles>(window_end_, 1));
+    return total / (window * static_cast<double>(link_flits_.size()));
+}
+
+} // namespace igs::sim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * 4x4 mesh network-on-chip model (Table 1).
+ *
+ * XY-routed mesh with 2-cycle hops and 256-bit links.  The model tracks
+ * per-link traffic (flits) so packet latency can include a utilization-
+ * dependent queueing term, and separates traffic classes (data/coherence
+ * vs HAU task messages) so Fig 20's "increase in average packet latency"
+ * can be reported per core.
+ */
+#ifndef IGS_SIM_NOC_H
+#define IGS_SIM_NOC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "sim/machine.h"
+
+namespace igs::sim {
+
+/** Traffic class of a NoC packet. */
+enum class PacketClass : std::uint8_t { kData = 0, kTask = 1 };
+
+/** Per-core packet latency accounting. */
+struct CoreNocStats {
+    std::uint64_t packets = 0;
+    double total_latency = 0.0;
+
+    double
+    average_latency() const
+    {
+        return packets == 0 ? 0.0 : total_latency / static_cast<double>(packets);
+    }
+};
+
+/** Mesh NoC with XY routing and utilization-aware latency. */
+class NocModel {
+  public:
+    explicit NocModel(const MachineParams& m);
+
+    /** Manhattan hop count between two cores. */
+    std::uint32_t hops(std::uint32_t from, std::uint32_t to) const;
+
+    /**
+     * Send a packet of `bytes` from core `from` to core `to` at time
+     * `now`; returns the modeled delivery latency in cycles and updates
+     * link-utilization and per-core statistics.
+     */
+    Cycles send(std::uint32_t from, std::uint32_t to, std::uint32_t bytes,
+                PacketClass cls, Cycles now);
+
+    /** Advance the utilization window (called by the driving simulator). */
+    void observe_time(Cycles now);
+
+    /** Per-source-core latency stats for the given traffic class. */
+    const std::vector<CoreNocStats>& core_stats(PacketClass cls) const;
+
+    /** Total flits injected for a traffic class. */
+    std::uint64_t flits(PacketClass cls) const { return flits_[static_cast<int>(cls)]; }
+
+    /** Mean link utilization in [0,1] over the observed window. */
+    double mean_link_utilization() const;
+
+  private:
+    std::uint32_t x_of(std::uint32_t core) const { return core % dim_; }
+    std::uint32_t y_of(std::uint32_t core) const { return core / dim_; }
+    /** Directed link id between adjacent cores a -> b. */
+    std::size_t link_id(std::uint32_t a, std::uint32_t b) const;
+
+    /** Walk the XY route, charging each link; returns queueing delay. */
+    double route(std::uint32_t from, std::uint32_t to, std::uint32_t flits);
+
+    std::uint32_t dim_;
+    Cycles hop_latency_;
+    std::uint32_t link_bytes_per_cycle_;
+    std::vector<double> link_flits_; // per directed link
+    Cycles window_end_ = 1;
+    std::uint64_t flits_[2] = {0, 0};
+    std::vector<CoreNocStats> stats_[2];
+};
+
+} // namespace igs::sim
+
+#endif // IGS_SIM_NOC_H

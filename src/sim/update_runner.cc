@@ -1,0 +1,74 @@
+#include "sim/update_runner.h"
+
+#include "common/thread_pool.h"
+#include "stream/updaters.h"
+
+namespace igs::sim {
+
+const char*
+to_string(UpdateMode mode)
+{
+    switch (mode) {
+      case UpdateMode::kBaseline:
+        return "baseline";
+      case UpdateMode::kReordered:
+        return "reordered";
+      case UpdateMode::kReorderedUsc:
+        return "reordered+usc";
+      case UpdateMode::kHau:
+        return "hau";
+    }
+    return "?";
+}
+
+UpdateRunner::UpdateRunner(const MachineParams& machine,
+                           const SwCostParams& sw, const HauCostParams& hw,
+                           std::size_t num_vertices)
+    : machine_(machine), sw_(sw),
+      exec_(machine.num_cores, num_vertices * 2), hau_(machine, hw)
+{
+}
+
+UpdateStats
+UpdateRunner::run(graph::IndexedAdjacency& g, const stream::EdgeBatch& batch,
+                  UpdateMode mode, stream::OcaProbe* probe,
+                  const stream::ReorderedBatch* reordered)
+{
+    exec_.ensure_lock_keys(g.num_vertices() * 2);
+
+    if (mode == UpdateMode::kHau) {
+        const HauRunStats h = hau_.run_batch(g, batch, probe);
+        last_hau_ = h;
+        UpdateStats s;
+        s.cycles = h.cycles;
+        s.inserts = h.inserts;
+        s.weight_updates = h.weight_updates;
+        s.removes = h.removes;
+        return s;
+    }
+
+    stream::ReorderedBatch local_rb;
+    if (reordered == nullptr && (mode == UpdateMode::kReordered ||
+                                 mode == UpdateMode::kReorderedUsc)) {
+        local_rb = stream::reorder_batch(batch.edges, default_pool());
+        reordered = &local_rb;
+    }
+
+    SimContext ctx(exec_, sw_);
+    switch (mode) {
+      case UpdateMode::kBaseline:
+        stream::apply_batch_baseline(g, batch, ctx, probe);
+        break;
+      case UpdateMode::kReordered:
+        stream::apply_batch_reordered(g, batch, *reordered, ctx, probe);
+        break;
+      case UpdateMode::kReorderedUsc:
+        stream::apply_batch_usc(g, batch, *reordered, ctx, probe);
+        break;
+      case UpdateMode::kHau:
+        break; // handled above
+    }
+    return ctx.stats();
+}
+
+} // namespace igs::sim

@@ -1,0 +1,32 @@
+#include "stream/batch.h"
+
+#include <unordered_map>
+
+namespace igs::stream {
+
+BatchDegreeStats
+compute_batch_degree_stats(std::span<const StreamEdge> edges)
+{
+    BatchDegreeStats s;
+    std::unordered_map<VertexId, std::uint32_t> out_deg;
+    std::unordered_map<VertexId, std::uint32_t> in_deg;
+    out_deg.reserve(edges.size());
+    in_deg.reserve(edges.size());
+    for (const StreamEdge& e : edges) {
+        ++out_deg[e.src];
+        ++in_deg[e.dst];
+    }
+    s.unique_sources = static_cast<std::uint32_t>(out_deg.size());
+    s.unique_destinations = static_cast<std::uint32_t>(in_deg.size());
+    for (const auto& [v, d] : out_deg) {
+        s.max_out_degree = std::max(s.max_out_degree, d);
+        s.out_degree_histogram.add(d);
+    }
+    for (const auto& [v, d] : in_deg) {
+        s.max_in_degree = std::max(s.max_in_degree, d);
+        s.in_degree_histogram.add(d);
+    }
+    return s;
+}
+
+} // namespace igs::stream

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Input batch representation and per-batch degree statistics.
+ *
+ * An input batch is a fixed-size slice of the edge stream (paper §3.1).
+ * Batch-level degree concepts: the degree of vertex v *in a batch* is the
+ * number of batch edges incident to v as source (out) or destination (in);
+ * N(k) is the number of batch vertices with degree k.
+ */
+#ifndef IGS_STREAM_BATCH_H
+#define IGS_STREAM_BATCH_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace igs::stream {
+
+/** A batch of streamed graph modifications, in arrival order. */
+struct EdgeBatch {
+    /** 1-based batch sequence number (0 = "no batch yet" in latest_bid). */
+    std::uint64_t id = 1;
+    std::vector<StreamEdge> edges;
+
+    std::size_t size() const { return edges.size(); }
+    bool empty() const { return edges.empty(); }
+};
+
+/** Degree statistics of one batch, as used by the characterization study. */
+struct BatchDegreeStats {
+    /** Max #edges sourced at a single vertex. */
+    std::uint32_t max_out_degree = 0;
+    /** Max #edges targeting a single vertex. */
+    std::uint32_t max_in_degree = 0;
+    /** Unique sources / destinations in the batch. */
+    std::uint32_t unique_sources = 0;
+    std::uint32_t unique_destinations = 0;
+    /** N(k) over batch out-degrees and in-degrees. */
+    Histogram out_degree_histogram;
+    Histogram in_degree_histogram;
+};
+
+/**
+ * Compute full degree statistics of a batch (characterization/bench path;
+ * the online ABR metric in src/core is the cheap alternative).
+ */
+BatchDegreeStats compute_batch_degree_stats(std::span<const StreamEdge> edges);
+
+} // namespace igs::stream
+
+#endif // IGS_STREAM_BATCH_H

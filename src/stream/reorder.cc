@@ -1,0 +1,51 @@
+#include "stream/reorder.h"
+
+#include "common/parallel_sort.h"
+
+namespace igs::stream {
+
+std::vector<VertexRun>
+build_runs(std::span<const StreamEdge> sorted, Direction key)
+{
+    std::vector<VertexRun> runs;
+    const auto key_of = [key](const StreamEdge& e) {
+        return key == Direction::kOut ? e.src : e.dst;
+    };
+    std::size_t i = 0;
+    while (i < sorted.size()) {
+        const VertexId v = key_of(sorted[i]);
+        std::size_t j = i + 1;
+        while (j < sorted.size() && key_of(sorted[j]) == v) {
+            ++j;
+        }
+        runs.push_back(VertexRun{v, static_cast<std::uint32_t>(i),
+                                 static_cast<std::uint32_t>(j)});
+        i = j;
+    }
+    return runs;
+}
+
+ReorderedBatch
+reorder_batch(std::span<const StreamEdge> edges, ThreadPool& pool)
+{
+    ReorderedBatch rb;
+    rb.batch_size = edges.size();
+
+    rb.by_src.edges.assign(edges.begin(), edges.end());
+    parallel_stable_sort(
+        rb.by_src.edges.begin(), rb.by_src.edges.end(),
+        [](const StreamEdge& a, const StreamEdge& b) { return a.src < b.src; },
+        pool);
+    rb.by_src.runs = build_runs(rb.by_src.edges, Direction::kOut);
+
+    rb.by_dst.edges.assign(edges.begin(), edges.end());
+    parallel_stable_sort(
+        rb.by_dst.edges.begin(), rb.by_dst.edges.end(),
+        [](const StreamEdge& a, const StreamEdge& b) { return a.dst < b.dst; },
+        pool);
+    rb.by_dst.runs = build_runs(rb.by_dst.edges, Direction::kIn);
+
+    return rb;
+}
+
+} // namespace igs::stream

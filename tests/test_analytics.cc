@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for the analytics layer: static/incremental PageRank and SSSP,
+ * BFS, connected components, and the compute meter.
+ */
+#include <cmath>
+#include <queue>
+
+#include <gtest/gtest.h>
+
+#include "analytics/compute_meter.h"
+#include "analytics/pagerank.h"
+#include "analytics/sssp.h"
+#include "analytics/traversal.h"
+#include "common/random.h"
+#include "gen/edge_stream.h"
+#include "graph/adjacency_list.h"
+#include "stream/batch.h"
+#include "stream/update_context.h"
+#include "stream/updaters.h"
+
+namespace igs::analytics {
+namespace {
+
+/** Build a small graph from explicit edges. */
+graph::AdjacencyList
+build(std::size_t n, const std::vector<std::pair<VertexId, VertexId>>& edges,
+      const std::vector<Weight>& weights = {})
+{
+    graph::AdjacencyList g(n);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        const Weight w = weights.empty() ? 1.0f : weights[i];
+        g.apply_insert(edges[i].first, {edges[i].second, w}, Direction::kOut);
+        g.apply_insert(edges[i].second, {edges[i].first, w}, Direction::kIn);
+    }
+    return g;
+}
+
+// ------------------------------------------------------------- pagerank
+TEST(StaticPageRank, SumsToOne)
+{
+    const auto g = build(5, {{0, 1}, {1, 2}, {2, 0}, {3, 2}, {4, 0}});
+    const auto ranks = static_pagerank(g);
+    double sum = 0.0;
+    for (double r : ranks) {
+        sum += r;
+    }
+    // Dangling mass leaks slightly in the GAP formulation; generous bound.
+    EXPECT_NEAR(sum, 1.0, 0.25);
+}
+
+TEST(StaticPageRank, SymmetricCycleIsUniform)
+{
+    const auto g = build(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+    const auto ranks = static_pagerank(g);
+    for (double r : ranks) {
+        EXPECT_NEAR(r, 0.25, 1e-3);
+    }
+}
+
+TEST(StaticPageRank, HubReceivesHigherRank)
+{
+    // Everyone points at vertex 0.
+    const auto g = build(5, {{1, 0}, {2, 0}, {3, 0}, {4, 0}});
+    const auto ranks = static_pagerank(g);
+    for (VertexId v = 1; v < 5; ++v) {
+        EXPECT_GT(ranks[0], ranks[v]);
+    }
+}
+
+TEST(StaticPageRank, EmptyGraph)
+{
+    graph::AdjacencyList g(0);
+    EXPECT_TRUE(static_pagerank(g).empty());
+}
+
+TEST(IncrementalPageRank, ConvergesTowardStaticResult)
+{
+    graph::AdjacencyList g(50);
+    IncrementalPageRank inc{PageRankParams{0.85, 1e-7, 200}};
+    stream::RealContext ctx;
+    Rng rng(9);
+    for (std::uint64_t k = 1; k <= 5; ++k) {
+        stream::EdgeBatch batch;
+        batch.id = k;
+        std::vector<VertexId> affected;
+        for (int i = 0; i < 40; ++i) {
+            const auto s = static_cast<VertexId>(rng.below(50));
+            auto d = static_cast<VertexId>(rng.below(50));
+            if (d == s) {
+                d = (d + 1) % 50;
+            }
+            batch.edges.push_back({s, d, 1.0f, false});
+            affected.push_back(s);
+            affected.push_back(d);
+        }
+        stream::apply_batch_baseline(g, batch, ctx);
+        inc.on_batch(g, affected);
+    }
+    const auto exact = static_pagerank(g, {0.85, 1e-10, 500});
+    // The incremental model is an approximation; errors stay moderate.
+    double max_err = 0.0;
+    for (std::size_t v = 0; v < 50; ++v) {
+        max_err = std::max(max_err, std::abs(exact[v] - inc.ranks()[v]));
+    }
+    EXPECT_LT(max_err, 0.02);
+}
+
+TEST(IncrementalPageRank, CountsWork)
+{
+    graph::AdjacencyList g(10);
+    g.apply_insert(0, {1, 1.0f}, Direction::kOut);
+    g.apply_insert(1, {0, 1.0f}, Direction::kIn);
+    IncrementalPageRank inc;
+    const auto stats = inc.on_batch(g, {0, 1});
+    EXPECT_EQ(stats.rounds, 1u);
+    EXPECT_GT(stats.activations, 0u);
+}
+
+// ----------------------------------------------------------------- sssp
+TEST(StaticSssp, HopDistancesOnChain)
+{
+    const auto g = build(4, {{0, 1}, {1, 2}, {2, 3}});
+    const auto d = static_sssp(g, 0);
+    EXPECT_FLOAT_EQ(d[0], 0.0f);
+    EXPECT_FLOAT_EQ(d[1], 1.0f);
+    EXPECT_FLOAT_EQ(d[2], 2.0f);
+    EXPECT_FLOAT_EQ(d[3], 3.0f);
+}
+
+TEST(StaticSssp, PrefersLighterPath)
+{
+    // 0 -> 1 -> 2 with weights 1+1 beats direct 0 -> 2 with weight 5.
+    const auto g =
+        build(3, {{0, 1}, {1, 2}, {0, 2}}, {1.0f, 1.0f, 5.0f});
+    const auto d = static_sssp(g, 0);
+    EXPECT_FLOAT_EQ(d[2], 2.0f);
+}
+
+TEST(StaticSssp, UnreachableIsInfinite)
+{
+    const auto g = build(3, {{0, 1}});
+    const auto d = static_sssp(g, 0);
+    EXPECT_TRUE(std::isinf(d[2]));
+}
+
+/**
+ * The strong property: incremental SSSP equals a from-scratch recompute
+ * after every batch, including deletions (KickStarter-style trimming).
+ */
+class IncSsspTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncSsspTest, MatchesStaticAfterEveryBatch)
+{
+    gen::StreamModel m;
+    m.num_vertices = 120;
+    m.num_hubs = 6;
+    m.hub_mass_dst = 0.2;
+    m.delete_fraction = 0.25;
+    m.weighted = true;
+    m.seed = GetParam();
+    gen::EdgeStreamGenerator genr(m);
+
+    graph::AdjacencyList g(120);
+    IncrementalSssp inc(0);
+    stream::RealContext ctx;
+
+    for (std::uint64_t k = 1; k <= 8; ++k) {
+        stream::EdgeBatch batch;
+        batch.id = k;
+        batch.edges = genr.take(150);
+        std::vector<StreamEdge> ins;
+        std::vector<StreamEdge> del;
+        for (const auto& e : batch.edges) {
+            (e.is_delete ? del : ins).push_back(e);
+        }
+        stream::apply_batch_baseline(g, batch, ctx);
+        inc.on_batch(g, ins, del);
+
+        const auto expected = static_sssp(g, 0);
+        for (std::size_t v = 0; v < 120; ++v) {
+            if (std::isinf(expected[v])) {
+                ASSERT_TRUE(std::isinf(inc.distances()[v]))
+                    << "batch " << k << " vertex " << v;
+            } else {
+                ASSERT_NEAR(inc.distances()[v], expected[v], 1e-4)
+                    << "batch " << k << " vertex " << v;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncSsspTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ------------------------------------------------------------ traversal
+TEST(Bfs, MatchesHandComputedDistances)
+{
+    const auto g = build(6, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}});
+    const auto d = bfs_distances(g, 0);
+    EXPECT_EQ(d[0], 0u);
+    EXPECT_EQ(d[1], 1u);
+    EXPECT_EQ(d[2], 1u);
+    EXPECT_EQ(d[3], 2u);
+    EXPECT_EQ(d[4], 3u);
+    EXPECT_EQ(d[5], ~0u);
+}
+
+TEST(ConnectedComponents, LabelsComponentsByMinVertex)
+{
+    const auto g = build(6, {{0, 1}, {1, 2}, {4, 5}});
+    const auto labels = connected_components(g);
+    EXPECT_EQ(labels[0], 0u);
+    EXPECT_EQ(labels[1], 0u);
+    EXPECT_EQ(labels[2], 0u);
+    EXPECT_EQ(labels[3], 3u);
+    EXPECT_EQ(labels[4], 4u);
+    EXPECT_EQ(labels[5], 4u);
+}
+
+TEST(ConnectedComponents, DirectionIgnored)
+{
+    // Directed edges both ways still one component.
+    const auto g = build(3, {{2, 0}, {1, 2}});
+    const auto labels = connected_components(g);
+    EXPECT_EQ(labels[0], labels[1]);
+    EXPECT_EQ(labels[1], labels[2]);
+}
+
+// ---------------------------------------------------------------- meter
+TEST(ComputeMeter, CyclesFollowCounts)
+{
+    ComputeCostParams p;
+    ComputeStats a;
+    a.activations = 100;
+    a.traversals = 1000;
+    a.rounds = 1;
+    ComputeStats b = a;
+    b.rounds = 2;
+    EXPECT_GT(b.cycles(p), a.cycles(p));
+    EXPECT_EQ(b.cycles(p) - a.cycles(p), static_cast<Cycles>(p.per_round));
+}
+
+TEST(ComputeMeter, Accumulates)
+{
+    ComputeMeter m;
+    m.activate(3);
+    m.traverse(7);
+    m.round();
+    m.iteration();
+    EXPECT_EQ(m.stats().activations, 3u);
+    EXPECT_EQ(m.stats().traversals, 7u);
+    EXPECT_EQ(m.stats().rounds, 1u);
+    m.reset();
+    EXPECT_EQ(m.stats().activations, 0u);
+}
+
+} // namespace
+} // namespace igs::analytics

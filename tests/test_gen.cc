@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Tests for the synthetic stream generators and the 14-dataset registry —
+ * including the input-character properties the paper's techniques key on
+ * (per-batch degree skew, burstiness, inter-batch locality).
+ */
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "core/cad.h"
+#include "common/thread_pool.h"
+#include "gen/datasets.h"
+#include "gen/edge_stream.h"
+#include "gen/rmat.h"
+#include "stream/batch.h"
+#include "stream/reorder.h"
+
+namespace igs::gen {
+namespace {
+
+StreamModel
+small_model()
+{
+    StreamModel m;
+    m.num_vertices = 1000;
+    m.num_hubs = 16;
+    m.seed = 99;
+    return m;
+}
+
+TEST(EdgeStream, DeterministicForSameSeed)
+{
+    EdgeStreamGenerator a(small_model());
+    EdgeStreamGenerator b(small_model());
+    for (int i = 0; i < 2000; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(EdgeStream, VerticesStayInRange)
+{
+    StreamModel m = small_model();
+    m.hub_mass_dst = 0.3;
+    m.hub_mass_src = 0.2;
+    m.community_mass = 0.5;
+    m.community_size = 100;
+    m.burst_mass = 0.1;
+    m.burst_period = 500;
+    EdgeStreamGenerator g(m);
+    for (int i = 0; i < 10000; ++i) {
+        const StreamEdge e = g.next();
+        ASSERT_LT(e.src, m.num_vertices);
+        ASSERT_LT(e.dst, m.num_vertices);
+        ASSERT_NE(e.src, e.dst) << "self loop";
+    }
+}
+
+TEST(EdgeStream, UnweightedEdgesHaveUnitWeight)
+{
+    EdgeStreamGenerator g(small_model());
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FLOAT_EQ(g.next().weight, 1.0f);
+    }
+}
+
+TEST(EdgeStream, WeightedEdgesInRange)
+{
+    StreamModel m = small_model();
+    m.weighted = true;
+    EdgeStreamGenerator g(m);
+    for (int i = 0; i < 1000; ++i) {
+        const float w = g.next().weight;
+        ASSERT_GE(w, 0.5f);
+        ASSERT_LT(w, 1.5f);
+    }
+}
+
+TEST(EdgeStream, DeleteFractionProducesDeletesOfPriorEdges)
+{
+    StreamModel m = small_model();
+    m.delete_fraction = 0.2;
+    EdgeStreamGenerator g(m);
+    std::set<std::pair<VertexId, VertexId>> inserted;
+    int deletes = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const StreamEdge e = g.next();
+        if (e.is_delete) {
+            ++deletes;
+            EXPECT_TRUE(inserted.count({e.src, e.dst}))
+                << "delete of never-inserted edge";
+        } else {
+            inserted.insert({e.src, e.dst});
+        }
+    }
+    EXPECT_GT(deletes, 500);
+    EXPECT_LT(deletes, 1500);
+}
+
+TEST(EdgeStream, HubMassConcentratesDestinations)
+{
+    StreamModel m = small_model();
+    m.hub_mass_dst = 0.5;
+    m.zipf_s = 1.2;
+    EdgeStreamGenerator g(m);
+    std::unordered_map<VertexId, int> in_deg;
+    for (int i = 0; i < 20000; ++i) {
+        ++in_deg[g.next().dst];
+    }
+    int max_deg = 0;
+    for (const auto& [v, d] : in_deg) {
+        max_deg = std::max(max_deg, d);
+    }
+    // Top hub should hold a large share; uniform would give ~20.
+    EXPECT_GT(max_deg, 1000);
+}
+
+TEST(EdgeStream, BurstTopDegreeScalesWithWindowNotBatch)
+{
+    StreamModel m = small_model();
+    m.num_vertices = 100000;
+    m.burst_mass = 0.05;
+    m.burst_period = 20000;
+    auto max_in_degree = [&](std::size_t batch) {
+        EdgeStreamGenerator g(m);
+        const auto edges = g.take(batch);
+        std::unordered_map<VertexId, int> deg;
+        for (const auto& e : edges) {
+            ++deg[e.dst];
+        }
+        int mx = 0;
+        for (const auto& [v, d] : deg) {
+            mx = std::max(mx, d);
+        }
+        return mx;
+    };
+    const int at_1k = max_in_degree(1000);
+    const int at_10k = max_in_degree(10000);
+    const int at_40k = max_in_degree(40000);
+    // Grows with batch size while the batch fits one burst window...
+    EXPECT_GT(at_10k, 4 * at_1k);
+    // ...but saturates once the batch spans whole windows.
+    EXPECT_LT(at_40k, 3 * at_10k);
+}
+
+TEST(EdgeStream, CommunityOverlapGrowsWithBatchSize)
+{
+    StreamModel m = small_model();
+    m.num_vertices = 200000;
+    m.community_mass = 0.85;
+    m.community_size = 20000;
+    auto overlap = [&](std::size_t batch) {
+        EdgeStreamGenerator g(m);
+        const auto b1 = g.take(batch);
+        const auto b2 = g.take(batch);
+        std::unordered_set<VertexId> first;
+        for (const auto& e : b1) {
+            first.insert(e.src);
+        }
+        std::unordered_set<VertexId> seen;
+        std::size_t hits = 0;
+        for (const auto& e : b2) {
+            if (seen.insert(e.src).second && first.count(e.src)) {
+                ++hits;
+            }
+        }
+        return static_cast<double>(hits) / static_cast<double>(seen.size());
+    };
+    const double small = overlap(1000);
+    const double large = overlap(60000);
+    EXPECT_LT(small, 0.25);
+    EXPECT_GT(large, 0.5);
+}
+
+// ------------------------------------------------------------- registry
+TEST(Registry, HasAllFourteenPaperDatasets)
+{
+    const auto& r = registry();
+    ASSERT_EQ(r.size(), 14u);
+    const std::set<std::string> expected{
+        "lj",   "patents",    "topcats", "talk",  "berkstan",
+        "fb",   "flickr",     "yt",      "amazon", "stack",
+        "superuser", "wiki",  "friendster", "uk"};
+    std::set<std::string> actual;
+    for (const auto& d : r) {
+        actual.insert(d.name);
+    }
+    EXPECT_EQ(actual, expected);
+}
+
+TEST(Registry, PaperSizesMatchTable2)
+{
+    EXPECT_EQ(find_dataset("wiki").paper_vertices, 1140149u);
+    EXPECT_EQ(find_dataset("wiki").paper_edges, 7833140u);
+    EXPECT_EQ(find_dataset("uk").paper_edges, 5507679822ull);
+    EXPECT_EQ(find_dataset("friendster").paper_vertices, 65608366u);
+    EXPECT_EQ(find_dataset("fb").paper_vertices, 46952u);
+}
+
+TEST(Registry, TimestampedFlagsMatchTable2)
+{
+    for (const char* name : {"fb", "flickr", "yt", "amazon", "stack",
+                             "superuser", "wiki"}) {
+        EXPECT_TRUE(find_dataset(name).timestamped) << name;
+    }
+    for (const char* name : {"talk", "berkstan", "patents", "topcats", "lj",
+                             "friendster", "uk"}) {
+        EXPECT_FALSE(find_dataset(name).timestamped) << name;
+    }
+}
+
+TEST(Registry, GeneratorsAreDeterministicPerDataset)
+{
+    for (const auto& d : registry()) {
+        auto a = d.make_generator();
+        auto b = d.make_generator();
+        for (int i = 0; i < 100; ++i) {
+            ASSERT_EQ(a.next(), b.next()) << d.name;
+        }
+    }
+}
+
+TEST(Registry, DefaultBatchCountBounds)
+{
+    const auto& ds = find_dataset("lj");
+    EXPECT_LE(default_batch_count(ds, 100), 48u);
+    EXPECT_GE(default_batch_count(ds, 500000), 4u);
+    EXPECT_EQ(default_batch_count(ds, 100000, 3), 3u);
+}
+
+/**
+ * The classification property behind the whole paper (Fig 3 / Fig 13):
+ * at batch size 100K, CAD_256 of the reordering-friendly datasets must
+ * exceed the paper's threshold (465) and the adverse datasets must fall
+ * below it.
+ */
+TEST(Registry, CadClassifiesFriendlinessAt100K)
+{
+    for (const auto& d : registry()) {
+        auto g = d.make_generator();
+        stream::EdgeBatch batch;
+        batch.edges = g.take(100000);
+        const auto rb = stream::reorder_batch(batch.edges, default_pool());
+        const auto cad = core::cad_from_reordered(rb, 256);
+        if (d.reorder_friendly) {
+            EXPECT_GE(cad.cad(), 465.0) << d.name;
+        } else {
+            EXPECT_LT(cad.cad(), 465.0) << d.name;
+        }
+    }
+}
+
+/** Fig 3's right axis: friendly datasets have much higher batch max
+ *  degree than adverse ones at 100K. */
+TEST(Registry, FriendlyDatasetsHaveHighMaxDegreeAt100K)
+{
+    std::uint32_t min_friendly = ~0u;
+    std::uint32_t max_adverse = 0;
+    for (const auto& d : registry()) {
+        auto g = d.make_generator();
+        const auto edges = g.take(100000);
+        const auto stats = stream::compute_batch_degree_stats(edges);
+        const auto mx = std::max(stats.max_in_degree, stats.max_out_degree);
+        if (d.reorder_friendly) {
+            min_friendly = std::min(min_friendly, mx);
+        } else {
+            max_adverse = std::max(max_adverse, mx);
+        }
+    }
+    EXPECT_GT(min_friendly, 4 * max_adverse);
+}
+
+// ----------------------------------------------------------------- rmat
+TEST(Rmat, GeneratesWithinRangeAndSkewed)
+{
+    RmatParams p;
+    p.scale = 10;
+    RmatGenerator g(p);
+    std::unordered_map<VertexId, int> deg;
+    for (int i = 0; i < 20000; ++i) {
+        const StreamEdge e = g.next();
+        ASSERT_LT(e.src, g.num_vertices());
+        ASSERT_LT(e.dst, g.num_vertices());
+        ++deg[e.dst];
+    }
+    int mx = 0;
+    for (const auto& [v, d] : deg) {
+        mx = std::max(mx, d);
+    }
+    // R-MAT with default params is strongly skewed vs uniform (~20).
+    EXPECT_GT(mx, 200);
+}
+
+TEST(Rmat, TakeReturnsRequestedCount)
+{
+    RmatGenerator g(RmatParams{});
+    EXPECT_EQ(g.take(123).size(), 123u);
+}
+
+} // namespace
+} // namespace igs::gen
+
+// Additional coverage: invalid-argument handling and stream invariants.
+namespace igs::gen {
+namespace {
+
+TEST(GenDeathTest, UnknownDatasetAborts)
+{
+    EXPECT_DEATH(find_dataset("not-a-dataset"), "unknown dataset");
+}
+
+TEST(GenDeathTest, DegenerateModelAborts)
+{
+    StreamModel m;
+    m.num_vertices = 1; // need at least 2 to avoid self loops
+    EXPECT_DEATH(EdgeStreamGenerator{m}, "check");
+}
+
+TEST(EdgeStream, PositionAdvancesPerOperation)
+{
+    EdgeStreamGenerator g(StreamModel{});
+    EXPECT_EQ(g.position(), 0u);
+    g.take(17);
+    EXPECT_EQ(g.position(), 17u);
+}
+
+TEST(Registry, SeedOffsetProducesIndependentStreams)
+{
+    const auto& ds = find_dataset("lj");
+    auto a = ds.make_generator(0);
+    auto b = ds.make_generator(1);
+    int same = 0;
+    for (int i = 0; i < 200; ++i) {
+        same += a.next() == b.next() ? 1 : 0;
+    }
+    EXPECT_LT(same, 5);
+}
+
+} // namespace
+} // namespace igs::gen

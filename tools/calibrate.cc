@@ -1,0 +1,88 @@
+// Development calibration harness (not part of the shipped library):
+// prints per dataset x batch size the batch degree character, CAD, the
+// modeled speedups of each update path, and OCA overlap, so the dataset
+// registry and cost constants can be tuned to the paper's shapes.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/cad.h"
+#include "gen/datasets.h"
+#include "graph/indexed_adjacency.h"
+#include "sim/update_runner.h"
+#include "stream/reorder.h"
+#include "stream/update_context.h"
+#include "common/thread_pool.h"
+
+using namespace igs;
+
+int
+main(int argc, char** argv)
+{
+    const std::vector<std::size_t> batch_sizes =
+        argc > 1 ? std::vector<std::size_t>{static_cast<std::size_t>(
+                       std::stoul(argv[1]))}
+                 : std::vector<std::size_t>{1000, 10000, 100000, 500000};
+
+    std::printf("%-11s %-8s %6s %8s %8s %9s | %9s %9s %9s %9s | %6s %6s %6s | %7s\n",
+                "dataset", "batch", "nb", "maxOutD", "maxInD", "CAD256",
+                "base", "RO", "RO+USC", "HAU", "spRO", "spUSC", "spHAU",
+                "overlap");
+
+    for (const auto& ds : gen::registry()) {
+        for (std::size_t b : batch_sizes) {
+            const std::size_t nb = std::min<std::size_t>(
+                gen::default_batch_count(ds, b), 4);
+            // Four arms, fresh graph each.
+            sim::MachineParams machine;
+            sim::SwCostParams sw;
+            sim::HauCostParams hw;
+            const std::vector<sim::UpdateMode> modes = {
+                sim::UpdateMode::kBaseline, sim::UpdateMode::kReordered,
+                sim::UpdateMode::kReorderedUsc, sim::UpdateMode::kHau};
+            double cycles[4] = {0, 0, 0, 0};
+            double cad_sum = 0;
+            double max_out = 0, max_in = 0, overlap = 0;
+            int overlap_n = 0;
+            for (int m = 0; m < 4; ++m) {
+                auto g = graph::IndexedAdjacency(ds.model.num_vertices);
+                sim::UpdateRunner runner(machine, sw, hw,
+                                         ds.model.num_vertices);
+                auto genr = ds.make_generator();
+                for (std::size_t k = 0; k < nb; ++k) {
+                    stream::EdgeBatch batch;
+                    batch.id = k + 1;
+                    batch.edges = genr.take(b);
+                    stream::OcaProbe probe;
+                    const auto stats =
+                        runner.run(g, batch, modes[m], m == 0 ? &probe : nullptr);
+                    cycles[m] += static_cast<double>(stats.cycles);
+                    if (m == 0) {
+                        if (k > 0) {
+                            overlap += probe.ratio();
+                            ++overlap_n;
+                        }
+                        const auto rb =
+                            stream::reorder_batch(batch.edges, default_pool());
+                        const auto cad = core::cad_from_reordered(rb, 256);
+                        cad_sum += cad.cad();
+                        max_out = std::max(
+                            max_out, static_cast<double>(cad.max_out_degree));
+                        max_in = std::max(
+                            max_in, static_cast<double>(cad.max_in_degree));
+                    }
+                }
+            }
+            std::printf(
+                "%-11s %-8zu %6zu %8.0f %8.0f %9.0f | %9.3g %9.3g %9.3g %9.3g "
+                "| %6.2f %6.2f %6.2f | %7.2f\n",
+                ds.name.c_str(), b, nb, max_out, max_in,
+                cad_sum / static_cast<double>(nb), cycles[0], cycles[1],
+                cycles[2], cycles[3], cycles[0] / cycles[1],
+                cycles[0] / cycles[2], cycles[0] / cycles[3],
+                overlap_n ? overlap / overlap_n : 0.0);
+            std::fflush(stdout);
+        }
+    }
+    return 0;
+}
