@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dah_comparison"
+  "../bench/bench_dah_comparison.pdb"
+  "CMakeFiles/bench_dah_comparison.dir/bench_dah_comparison.cc.o"
+  "CMakeFiles/bench_dah_comparison.dir/bench_dah_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dah_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_ro_characterization"
+  "../bench/bench_fig03_ro_characterization.pdb"
+  "CMakeFiles/bench_fig03_ro_characterization.dir/bench_fig03_ro_characterization.cc.o"
+  "CMakeFiles/bench_fig03_ro_characterization.dir/bench_fig03_ro_characterization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_ro_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_temporal_stability"
+  "../bench/bench_fig05_temporal_stability.pdb"
+  "CMakeFiles/bench_fig05_temporal_stability.dir/bench_fig05_temporal_stability.cc.o"
+  "CMakeFiles/bench_fig05_temporal_stability.dir/bench_fig05_temporal_stability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_temporal_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

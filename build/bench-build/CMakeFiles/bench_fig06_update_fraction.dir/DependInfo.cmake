@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig06_update_fraction.cc" "bench-build/CMakeFiles/bench_fig06_update_fraction.dir/bench_fig06_update_fraction.cc.o" "gcc" "bench-build/CMakeFiles/bench_fig06_update_fraction.dir/bench_fig06_update_fraction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/igs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/igs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/igs_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/igs_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/igs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/igs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_update_fraction"
+  "../bench/bench_fig06_update_fraction.pdb"
+  "CMakeFiles/bench_fig06_update_fraction.dir/bench_fig06_update_fraction.cc.o"
+  "CMakeFiles/bench_fig06_update_fraction.dir/bench_fig06_update_fraction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_update_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

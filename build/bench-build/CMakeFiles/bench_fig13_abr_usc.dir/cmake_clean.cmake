@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_abr_usc"
+  "../bench/bench_fig13_abr_usc.pdb"
+  "CMakeFiles/bench_fig13_abr_usc.dir/bench_fig13_abr_usc.cc.o"
+  "CMakeFiles/bench_fig13_abr_usc.dir/bench_fig13_abr_usc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_abr_usc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_oca"
+  "../bench/bench_fig14_oca.pdb"
+  "CMakeFiles/bench_fig14_oca.dir/bench_fig14_oca.cc.o"
+  "CMakeFiles/bench_fig14_oca.dir/bench_fig14_oca.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_oca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_dynamic_modes"
+  "../bench/bench_fig15_dynamic_modes.pdb"
+  "CMakeFiles/bench_fig15_dynamic_modes.dir/bench_fig15_dynamic_modes.cc.o"
+  "CMakeFiles/bench_fig15_dynamic_modes.dir/bench_fig15_dynamic_modes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_dynamic_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

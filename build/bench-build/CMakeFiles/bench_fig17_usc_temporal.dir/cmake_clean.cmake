@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_usc_temporal"
+  "../bench/bench_fig17_usc_temporal.pdb"
+  "CMakeFiles/bench_fig17_usc_temporal.dir/bench_fig17_usc_temporal.cc.o"
+  "CMakeFiles/bench_fig17_usc_temporal.dir/bench_fig17_usc_temporal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_usc_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_abr_params"
+  "../bench/bench_fig18_abr_params.pdb"
+  "CMakeFiles/bench_fig18_abr_params.dir/bench_fig18_abr_params.cc.o"
+  "CMakeFiles/bench_fig18_abr_params.dir/bench_fig18_abr_params.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_abr_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig19_hau_work"
+  "../bench/bench_fig19_hau_work.pdb"
+  "CMakeFiles/bench_fig19_hau_work.dir/bench_fig19_hau_work.cc.o"
+  "CMakeFiles/bench_fig19_hau_work.dir/bench_fig19_hau_work.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_hau_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

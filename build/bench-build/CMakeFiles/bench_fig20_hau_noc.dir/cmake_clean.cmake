@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig20_hau_noc"
+  "../bench/bench_fig20_hau_noc.pdb"
+  "CMakeFiles/bench_fig20_hau_noc.dir/bench_fig20_hau_noc.cc.o"
+  "CMakeFiles/bench_fig20_hau_noc.dir/bench_fig20_hau_noc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_hau_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

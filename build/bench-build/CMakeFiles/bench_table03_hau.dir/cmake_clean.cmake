@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table03_hau"
+  "../bench/bench_table03_hau.pdb"
+  "CMakeFiles/bench_table03_hau.dir/bench_table03_hau.cc.o"
+  "CMakeFiles/bench_table03_hau.dir/bench_table03_hau.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_hau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

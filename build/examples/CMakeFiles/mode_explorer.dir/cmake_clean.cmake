@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mode_explorer.dir/mode_explorer.cpp.o"
+  "CMakeFiles/mode_explorer.dir/mode_explorer.cpp.o.d"
+  "mode_explorer"
+  "mode_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mode_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

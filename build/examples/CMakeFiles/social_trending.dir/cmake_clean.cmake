@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_trending.dir/social_trending.cpp.o"
+  "CMakeFiles/social_trending.dir/social_trending.cpp.o.d"
+  "social_trending"
+  "social_trending.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_trending.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

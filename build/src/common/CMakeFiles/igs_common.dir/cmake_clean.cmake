@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igs_common.dir/thread_pool.cc.o"
+  "CMakeFiles/igs_common.dir/thread_pool.cc.o.d"
+  "libigs_common.a"
+  "libigs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

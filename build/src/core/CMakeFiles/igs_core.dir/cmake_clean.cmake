@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igs_core.dir/abr.cc.o"
+  "CMakeFiles/igs_core.dir/abr.cc.o.d"
+  "CMakeFiles/igs_core.dir/cad.cc.o"
+  "CMakeFiles/igs_core.dir/cad.cc.o.d"
+  "CMakeFiles/igs_core.dir/engine.cc.o"
+  "CMakeFiles/igs_core.dir/engine.cc.o.d"
+  "libigs_core.a"
+  "libigs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igs_gen.dir/datasets.cc.o"
+  "CMakeFiles/igs_gen.dir/datasets.cc.o.d"
+  "CMakeFiles/igs_gen.dir/edge_stream.cc.o"
+  "CMakeFiles/igs_gen.dir/edge_stream.cc.o.d"
+  "libigs_gen.a"
+  "libigs_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igs_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

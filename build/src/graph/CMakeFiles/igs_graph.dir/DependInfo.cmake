@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/adjacency_list.cc" "src/graph/CMakeFiles/igs_graph.dir/adjacency_list.cc.o" "gcc" "src/graph/CMakeFiles/igs_graph.dir/adjacency_list.cc.o.d"
+  "/root/repo/src/graph/degree_aware_hash.cc" "src/graph/CMakeFiles/igs_graph.dir/degree_aware_hash.cc.o" "gcc" "src/graph/CMakeFiles/igs_graph.dir/degree_aware_hash.cc.o.d"
+  "/root/repo/src/graph/indexed_adjacency.cc" "src/graph/CMakeFiles/igs_graph.dir/indexed_adjacency.cc.o" "gcc" "src/graph/CMakeFiles/igs_graph.dir/indexed_adjacency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/igs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igs_graph.dir/adjacency_list.cc.o"
+  "CMakeFiles/igs_graph.dir/adjacency_list.cc.o.d"
+  "CMakeFiles/igs_graph.dir/degree_aware_hash.cc.o"
+  "CMakeFiles/igs_graph.dir/degree_aware_hash.cc.o.d"
+  "CMakeFiles/igs_graph.dir/indexed_adjacency.cc.o"
+  "CMakeFiles/igs_graph.dir/indexed_adjacency.cc.o.d"
+  "libigs_graph.a"
+  "libigs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

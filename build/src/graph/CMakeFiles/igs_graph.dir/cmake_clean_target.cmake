@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libigs_graph.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/igs_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/igs_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/exec_sim.cc" "src/sim/CMakeFiles/igs_sim.dir/exec_sim.cc.o" "gcc" "src/sim/CMakeFiles/igs_sim.dir/exec_sim.cc.o.d"
+  "/root/repo/src/sim/hau.cc" "src/sim/CMakeFiles/igs_sim.dir/hau.cc.o" "gcc" "src/sim/CMakeFiles/igs_sim.dir/hau.cc.o.d"
+  "/root/repo/src/sim/noc.cc" "src/sim/CMakeFiles/igs_sim.dir/noc.cc.o" "gcc" "src/sim/CMakeFiles/igs_sim.dir/noc.cc.o.d"
+  "/root/repo/src/sim/update_runner.cc" "src/sim/CMakeFiles/igs_sim.dir/update_runner.cc.o" "gcc" "src/sim/CMakeFiles/igs_sim.dir/update_runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/igs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/igs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/igs_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igs_sim.dir/cache.cc.o"
+  "CMakeFiles/igs_sim.dir/cache.cc.o.d"
+  "CMakeFiles/igs_sim.dir/exec_sim.cc.o"
+  "CMakeFiles/igs_sim.dir/exec_sim.cc.o.d"
+  "CMakeFiles/igs_sim.dir/hau.cc.o"
+  "CMakeFiles/igs_sim.dir/hau.cc.o.d"
+  "CMakeFiles/igs_sim.dir/noc.cc.o"
+  "CMakeFiles/igs_sim.dir/noc.cc.o.d"
+  "CMakeFiles/igs_sim.dir/update_runner.cc.o"
+  "CMakeFiles/igs_sim.dir/update_runner.cc.o.d"
+  "libigs_sim.a"
+  "libigs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

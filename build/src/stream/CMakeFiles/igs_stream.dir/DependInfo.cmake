@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/batch.cc" "src/stream/CMakeFiles/igs_stream.dir/batch.cc.o" "gcc" "src/stream/CMakeFiles/igs_stream.dir/batch.cc.o.d"
+  "/root/repo/src/stream/reorder.cc" "src/stream/CMakeFiles/igs_stream.dir/reorder.cc.o" "gcc" "src/stream/CMakeFiles/igs_stream.dir/reorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/igs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/igs_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igs_stream.dir/batch.cc.o"
+  "CMakeFiles/igs_stream.dir/batch.cc.o.d"
+  "CMakeFiles/igs_stream.dir/reorder.cc.o"
+  "CMakeFiles/igs_stream.dir/reorder.cc.o.d"
+  "libigs_stream.a"
+  "libigs_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igs_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
