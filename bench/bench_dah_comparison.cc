@@ -59,7 +59,7 @@ main()
         for (std::uint64_t k = 1; k <= nb; ++k) {
             stream::EdgeBatch batch;
             batch.id = k;
-            batch.edges = genr.take(b);
+            batch.set_edges(genr.take(b));
             sim::SimContext ctx(exec, sw);
             stream::apply_batch_baseline(g, batch, ctx);
             dah_update += ctx.stats().cycles;

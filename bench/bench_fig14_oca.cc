@@ -55,7 +55,7 @@ main(int argc, char** argv)
                     for (std::uint64_t k = 1; k <= nb; ++k) {
                         stream::EdgeBatch batch;
                         batch.id = k;
-                        batch.edges = genr.take(b);
+                        batch.set_edges(genr.take(b));
                         engine.ingest(batch);
                         if (engine.compute_due()) {
                             const auto work = engine.take_pending_work();

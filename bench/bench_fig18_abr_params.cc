@@ -155,8 +155,7 @@ main()
                 const bool friendly_phase = ((k - 1) / segment) % 2 == 0;
                 stream::EdgeBatch batch;
                 batch.id = k;
-                batch.edges =
-                    friendly_phase ? gf.take(b) : ga.take(b);
+                batch.set_edges(friendly_phase ? gf.take(b) : ga.take(b));
                 decisions.push_back(engine.ingest(batch).reordered);
             }
             return decisions;
@@ -178,7 +177,7 @@ main()
                 const bool friendly_phase = ((k - 1) / segment) % 2 == 0;
                 stream::EdgeBatch batch;
                 batch.id = k;
-                batch.edges = friendly_phase ? gf.take(b) : ga.take(b);
+                batch.set_edges(friendly_phase ? gf.take(b) : ga.take(b));
                 per_batch.push_back(engine.ingest(batch).update.cycles);
             }
             return per_batch;

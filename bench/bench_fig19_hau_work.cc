@@ -48,7 +48,7 @@ main()
     for (std::uint64_t k = 1; k <= nb; ++k) {
         stream::EdgeBatch batch;
         batch.id = k;
-        batch.edges = genr.take(b);
+        batch.set_edges(genr.take(b));
         engine.ingest(batch);
         const auto& hau = engine.runner().last_hau_stats();
         if (hau.has_value()) {

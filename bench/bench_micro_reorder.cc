@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Host-side microbenchmark of the batch-reordering pipeline: the paper's
+ * comparison-sort path vs the radix/counting path (identical output), plus
+ * the USC per-run table build (reusable flat table vs std::unordered_map).
+ *
+ * Wall-clock only — simulated cycles are charged identically for both
+ * reorder modes (DESIGN.md §5).  One JSON line per configuration goes to
+ * stdout and to BENCH_reorder.json for machine consumption.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_table.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "gen/edge_stream.h"
+#include "stream/reorder.h"
+
+namespace {
+
+using namespace igs;
+
+std::vector<StreamEdge>
+make_batch(std::size_t n)
+{
+    gen::StreamModel m;
+    // Scale the vertex space with the batch so large batches exceed the
+    // 16-bit digit range and exercise the multi-pass radix path.
+    m.num_vertices = std::max<std::uint32_t>(
+        300, static_cast<std::uint32_t>(n / 4));
+    m.num_hubs = 8;
+    m.hub_mass_dst = 0.2;
+    m.weighted = true;
+    m.seed = 2024;
+    return gen::EdgeStreamGenerator(m).take(n);
+}
+
+/** Best-of-`reps` wall seconds of `fn()`. */
+template <typename F>
+double
+time_best(int reps, F&& fn)
+{
+    double best = 1e100;
+    for (int r = 0; r < reps; ++r) {
+        Timer t;
+        fn();
+        best = std::min(best, t.seconds());
+    }
+    return best;
+}
+
+void
+emit(std::FILE* json, std::size_t batch_size, const char* mode,
+     double seconds, std::size_t edges)
+{
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "{\"bench\": \"micro_reorder\", \"batch_size\": %zu, "
+                  "\"mode\": \"%s\", \"seconds\": %.6e, "
+                  "\"ns_per_edge\": %.2f}",
+                  batch_size, mode, seconds,
+                  seconds * 1e9 / static_cast<double>(edges));
+    std::printf("%s\n", line);
+    if (json != nullptr) {
+        std::fprintf(json, "%s\n", line);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== micro: batch reordering, comparison vs radix ==\n");
+    std::printf("host wall-clock; both modes produce identical output\n\n");
+    std::FILE* json = std::fopen("BENCH_reorder.json", "w");
+
+    ThreadPool& pool = default_pool();
+    stream::Reorderer comparison(stream::ReorderMode::kComparison);
+    stream::Reorderer radix(stream::ReorderMode::kRadix);
+
+    for (const std::size_t n :
+         {std::size_t{100}, std::size_t{1000}, std::size_t{10000},
+          std::size_t{100000}, std::size_t{500000}}) {
+        const std::vector<StreamEdge> edges = make_batch(n);
+        const int reps = n >= 100000 ? 5 : 9;
+
+        // Warm both arenas (first call grows the scratch buffers).
+        comparison.reorder(edges, pool);
+        radix.reorder(edges, pool);
+
+        const double t_cmp = time_best(
+            reps, [&] { comparison.reorder(edges, pool); });
+        emit(json, n, "comparison", t_cmp, n);
+
+        const double t_rad =
+            time_best(reps, [&] { radix.reorder(edges, pool); });
+        emit(json, n, "radix", t_rad, n);
+
+        // USC per-run table build over the by-source runs of this batch.
+        const stream::ReorderedBatch& rb = radix.reorder(edges, pool);
+        FlatWeightTable flat;
+        const double t_flat = time_best(reps, [&] {
+            for (const stream::VertexRun& run : rb.by_src.runs) {
+                flat.reset(run.size());
+                for (std::uint32_t i = run.begin; i < run.end; ++i) {
+                    flat.add(rb.by_src.edges[i].dst,
+                             rb.by_src.edges[i].weight);
+                }
+            }
+        });
+        emit(json, n, "usc_flat_table", t_flat, n);
+
+        const double t_umap = time_best(reps, [&] {
+            for (const stream::VertexRun& run : rb.by_src.runs) {
+                std::unordered_map<VertexId, Weight> table;
+                for (std::uint32_t i = run.begin; i < run.end; ++i) {
+                    table[rb.by_src.edges[i].dst] +=
+                        rb.by_src.edges[i].weight;
+                }
+            }
+        });
+        emit(json, n, "usc_unordered_map", t_umap, n);
+
+        std::printf("# n=%zu: radix %.2fx vs comparison, flat table %.2fx "
+                    "vs unordered_map\n\n",
+                    n, t_cmp / t_rad, t_umap / t_flat);
+    }
+
+    if (json != nullptr) {
+        std::fclose(json);
+        std::printf("wrote BENCH_reorder.json\n");
+    }
+    return 0;
+}

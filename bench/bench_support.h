@@ -113,7 +113,7 @@ run_stream(const gen::DatasetSpec& ds, std::size_t batch_size,
     for (std::uint64_t k = 1; k <= num_batches; ++k) {
         stream::EdgeBatch batch;
         batch.id = k;
-        batch.edges = genr.take(batch_size);
+        batch.set_edges(genr.take(batch_size));
         BatchRecord rec;
         rec.report = engine.ingest(batch);
         out.update_cycles += rec.report.update.cycles;

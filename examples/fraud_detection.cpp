@@ -58,7 +58,7 @@ main(int argc, char** argv)
     for (std::uint64_t id = 1; id <= batches; ++id) {
         stream::EdgeBatch batch;
         batch.id = id;
-        batch.edges = transactions.take(kBatchSize);
+        batch.set_edges(transactions.take(kBatchSize));
         engine.ingest(batch);
 
         const core::PendingWork work = engine.take_pending_work();

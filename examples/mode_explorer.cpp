@@ -55,7 +55,7 @@ main(int argc, char** argv)
         for (std::uint64_t k = 1; k <= batches; ++k) {
             stream::EdgeBatch batch;
             batch.id = k;
-            batch.edges = genr.take(batch_size);
+            batch.set_edges(genr.take(batch_size));
             const auto report = engine.ingest(batch);
             cycles += report.update.cycles;
             reordered += report.reordered ? 1 : 0;

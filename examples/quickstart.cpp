@@ -38,7 +38,7 @@ main()
     for (std::uint64_t id = 1; id <= kBatches; ++id) {
         stream::EdgeBatch batch;
         batch.id = id;
-        batch.edges = rmat.take(kBatchSize);
+        batch.set_edges(rmat.take(kBatchSize));
 
         const core::BatchReport report = engine.ingest(batch);
         std::printf("batch %2llu: %-9s %s%s  (%.2f ms update",

@@ -41,7 +41,7 @@ main(int argc, char** argv)
     for (std::uint64_t id = 1; id <= batches; ++id) {
         stream::EdgeBatch batch;
         batch.id = id;
-        batch.edges = interactions.take(kBatchSize);
+        batch.set_edges(interactions.take(kBatchSize));
         const core::BatchReport report = engine.ingest(batch);
 
         const bool compute_now = engine.compute_due();

@@ -1,0 +1,172 @@
+#include "common/alloc_counter.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace igs {
+namespace {
+
+std::atomic<bool> g_tracking{false};
+std::atomic<std::uint64_t> g_allocs{0};
+
+void*
+counted_alloc(std::size_t n)
+{
+    if (g_tracking.load(std::memory_order_relaxed)) {
+        g_allocs.fetch_add(1, std::memory_order_relaxed);
+    }
+    return std::malloc(n == 0 ? 1 : n);
+}
+
+void*
+counted_aligned_alloc(std::size_t n, std::size_t align)
+{
+    if (g_tracking.load(std::memory_order_relaxed)) {
+        g_allocs.fetch_add(1, std::memory_order_relaxed);
+    }
+    void* p = nullptr;
+    if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                       n == 0 ? 1 : n) != 0) {
+        return nullptr;
+    }
+    return p;
+}
+
+} // namespace
+
+void
+set_alloc_tracking(bool enabled)
+{
+    g_tracking.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t
+tracked_alloc_count()
+{
+    return g_allocs.load(std::memory_order_relaxed);
+}
+
+} // namespace igs
+
+// Replacement allocation functions.  Only binaries referencing the
+// igs::*alloc* API link this translation unit (archive semantics), so the
+// hook is scoped to tests that opt in.
+
+void*
+operator new(std::size_t n)
+{
+    void* p = igs::counted_alloc(n);
+    if (p == nullptr) {
+        throw std::bad_alloc{};
+    }
+    return p;
+}
+
+void*
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void*
+operator new(std::size_t n, const std::nothrow_t&) noexcept
+{
+    return igs::counted_alloc(n);
+}
+
+void*
+operator new[](std::size_t n, const std::nothrow_t&) noexcept
+{
+    return igs::counted_alloc(n);
+}
+
+void*
+operator new(std::size_t n, std::align_val_t align)
+{
+    void* p = igs::counted_aligned_alloc(n, static_cast<std::size_t>(align));
+    if (p == nullptr) {
+        throw std::bad_alloc{};
+    }
+    return p;
+}
+
+void*
+operator new[](std::size_t n, std::align_val_t align)
+{
+    return ::operator new(n, align);
+}
+
+void*
+operator new(std::size_t n, std::align_val_t align,
+             const std::nothrow_t&) noexcept
+{
+    return igs::counted_aligned_alloc(n, static_cast<std::size_t>(align));
+}
+
+void*
+operator new[](std::size_t n, std::align_val_t align,
+               const std::nothrow_t&) noexcept
+{
+    return igs::counted_aligned_alloc(n, static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, const std::nothrow_t&) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, const std::nothrow_t&) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Global-allocation counting hook for allocation-freedom tests.
+ *
+ * Linking a binary that references any of these functions pulls in
+ * alloc_counter.cc, whose replacement `operator new` family counts every
+ * heap allocation (on all threads) while tracking is enabled.  Binaries
+ * that never reference this header keep the default allocator untouched —
+ * the hook costs nothing outside the tests that opt in.
+ *
+ * Used to verify the steady-state reorder path performs zero allocations
+ * (see tests/test_reorder_radix.cc).
+ */
+#ifndef IGS_COMMON_ALLOC_COUNTER_H
+#define IGS_COMMON_ALLOC_COUNTER_H
+
+#include <cstdint>
+
+namespace igs {
+
+/** Enable/disable allocation counting (process-wide, all threads). */
+void set_alloc_tracking(bool enabled);
+
+/** Allocations observed while tracking was enabled. */
+std::uint64_t tracked_alloc_count();
+
+} // namespace igs
+
+#endif // IGS_COMMON_ALLOC_COUNTER_H

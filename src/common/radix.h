@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Primitives for stable LSD counting/radix sorts over dense integer keys.
+ *
+ * The batch-reordering pipeline (stream/reorder_radix.cc) sorts a batch by
+ * vertex id in one or more stable counting passes instead of a comparison
+ * sort: per-worker histograms over contiguous input chunks, a bucket-major /
+ * worker-minor exclusive prefix turning counts into scatter offsets, then a
+ * chunk-parallel scatter.  Stability follows from the offset order: bucket,
+ * then worker (chunks are contiguous), then arrival order within a chunk.
+ *
+ * These helpers are key-type agnostic; callers choose the digit plan and own
+ * the histogram storage so it can live in a reusable arena.
+ */
+#ifndef IGS_COMMON_RADIX_H
+#define IGS_COMMON_RADIX_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace igs {
+
+/** Widest digit a single counting pass handles. */
+inline constexpr std::uint32_t kMaxRadixBits = 16;
+/** Histogram stride sized for the widest digit. */
+inline constexpr std::size_t kMaxRadixBuckets = std::size_t{1} << kMaxRadixBits;
+
+/** Digit plan of one radix sort: `passes` stable passes of `bits` each. */
+struct RadixPlan {
+    std::uint32_t bits = kMaxRadixBits;
+    std::uint32_t passes = 1;
+
+    std::size_t buckets() const { return std::size_t{1} << bits; }
+    std::uint32_t mask() const { return (1u << bits) - 1u; }
+};
+
+/**
+ * Pick a digit plan for sorting `n` keys in [0, max_key].
+ *
+ * Wide digits amortize over large inputs; small inputs take narrow digits so
+ * the O(workers x buckets) prefix/clear work cannot dominate the O(n) part.
+ */
+inline RadixPlan
+plan_radix(std::size_t n, std::uint32_t max_key)
+{
+    RadixPlan plan;
+    plan.bits = n >= 4096 ? kMaxRadixBits : 8;
+    const std::uint32_t key_bits =
+        max_key == 0 ? 1u : static_cast<std::uint32_t>(std::bit_width(max_key));
+    plan.passes = (key_bits + plan.bits - 1) / plan.bits;
+    if (plan.passes == 0) {
+        plan.passes = 1;
+    }
+    return plan;
+}
+
+/**
+ * Turn per-worker bucket counts into exclusive scatter offsets, in place.
+ *
+ * `hist` holds `workers` rows of `stride` counters; only the first
+ * `buckets_used` buckets of each row are touched.  After the call,
+ * `hist[w * stride + b]` is the output index where worker `w` places its
+ * first element of bucket `b`; the bucket-major / worker-minor visit order
+ * is what makes the enclosing counting pass stable.  Returns the total
+ * element count (== n of the pass).
+ */
+inline std::size_t
+radix_exclusive_offsets(std::uint32_t* hist, std::size_t workers,
+                        std::size_t stride, std::size_t buckets_used)
+{
+    std::size_t running = 0;
+    for (std::size_t b = 0; b < buckets_used; ++b) {
+        for (std::size_t w = 0; w < workers; ++w) {
+            const std::uint32_t count = hist[w * stride + b];
+            hist[w * stride + b] = static_cast<std::uint32_t>(running);
+            running += count;
+        }
+    }
+    return running;
+}
+
+} // namespace igs
+
+#endif // IGS_COMMON_RADIX_H

@@ -77,18 +77,37 @@ PendingAccumulator::take()
 
 namespace {
 
-/** Grow a graph to cover every vertex the batch names. */
+/** Grow a graph to cover every vertex up to `max_v`. */
 template <typename Graph>
 void
-ensure_batch_capacity(Graph& g, const stream::EdgeBatch& batch)
+ensure_capacity(Graph& g, VertexId max_v)
 {
-    VertexId max_v = 0;
-    for (const StreamEdge& e : batch.edges) {
-        max_v = std::max({max_v, e.src, e.dst});
-    }
     if (static_cast<std::size_t>(max_v) + 1 > g.num_vertices()) {
         g.ensure_vertices(static_cast<std::size_t>(max_v) + 1);
     }
+}
+
+/**
+ * Reorder the batch (when the latched decision says so) and make sure the
+ * graph covers every vertex it names.  The radix reorderer computes the max
+ * vertex id inside its fused histogram pass, so reordered batches pay no
+ * separate capacity scan.  Returns the reordering, or null.
+ */
+template <typename Graph>
+const stream::ReorderedBatch*
+reorder_and_reserve(detail::DecisionCore& core, stream::Reorderer& reorderer,
+                    Graph& g, const stream::EdgeBatch& batch,
+                    ThreadPool& pool, bool& reorder_out)
+{
+    reorder_out = core.reorder_now(core.config().policy);
+    if (reorder_out) {
+        const stream::ReorderedBatch& rb =
+            reorderer.reorder(batch.edges(), pool);
+        ensure_capacity(g, reorderer.last_max_vertex());
+        return &rb;
+    }
+    ensure_capacity(g, stream::max_vertex_of(batch.edges()));
+    return nullptr;
 }
 
 /**
@@ -105,24 +124,20 @@ struct Dispatch {
 template <typename RunUpdate>
 BatchReport
 drive_batch(detail::DecisionCore& core, const stream::EdgeBatch& batch,
+            bool reorder, const stream::ReorderedBatch* rb,
             bool hau_available, RunUpdate&& run_update)
 {
     const UpdatePolicy policy = core.config().policy;
     BatchReport report;
     report.batch_id = batch.id;
 
-    // 1. Reorder first if the latched decision says so — ABR's cheap
-    //    instrumentation path reads the run index of this reordering.
-    const bool reorder = core.reorder_now(policy);
-    stream::ReorderedBatch rb;
-    if (reorder) {
-        rb = stream::reorder_batch(batch.edges, default_pool());
-    }
+    // 1. The caller reordered first if the latched decision said so —
+    //    ABR's cheap instrumentation path reads that reordering's run
+    //    index, and the update path reuses it outright.
 
     // 2. ABR instrumentation + decision latch for the following batches.
     if (detail::DecisionCore::policy_uses_abr(policy)) {
-        const AbrDecision ad =
-            core.abr().on_batch(batch.edges, reorder ? &rb : nullptr);
+        const AbrDecision ad = core.abr().on_batch(batch.edges(), rb);
         report.abr_active = ad.active;
         report.cad = ad.cad;
         report.instrumentation_cycles += ad.instrumentation_cycles;
@@ -156,8 +171,7 @@ drive_batch(detail::DecisionCore& core, const stream::EdgeBatch& batch,
 
     // 4. Run the update (frontend-specific) with an OCA probe when due.
     stream::OcaProbe probe;
-    run_update(d, reorder ? &rb : nullptr,
-               d.want_probe ? &probe : nullptr, report);
+    run_update(d, rb, d.want_probe ? &probe : nullptr, report);
     if (core.oca().params().enabled) {
         report.instrumentation_cycles +=
             static_cast<double>(batch.size()) *
@@ -179,16 +193,19 @@ SimEngine::SimEngine(const EngineConfig& config,
                      const sim::SwCostParams& sw,
                      const sim::HauCostParams& hw, std::size_t num_vertices)
     : core_(config), graph_(num_vertices),
-      runner_(machine, sw, hw, num_vertices)
+      runner_(machine, sw, hw, num_vertices, config.reorder_mode),
+      reorderer_(config.reorder_mode)
 {
 }
 
 BatchReport
 SimEngine::ingest(const stream::EdgeBatch& batch)
 {
-    ensure_batch_capacity(graph_, batch);
+    bool reorder = false;
+    const stream::ReorderedBatch* rb = reorder_and_reserve(
+        core_, reorderer_, graph_, batch, default_pool(), reorder);
     BatchReport report = drive_batch(
-        core_, batch, /*hau_available=*/true,
+        core_, batch, reorder, rb, /*hau_available=*/true,
         [&](const Dispatch& d, const stream::ReorderedBatch* rb,
             stream::OcaProbe* probe, BatchReport& r) {
             const sim::UpdateMode mode =
@@ -215,20 +232,23 @@ SimEngine::ingest(const stream::EdgeBatch& batch)
 
 RealTimeEngine::RealTimeEngine(const EngineConfig& config,
                                std::size_t num_vertices, ThreadPool& pool)
-    : core_(config), graph_(num_vertices), pool_(pool)
+    : core_(config), graph_(num_vertices), pool_(pool),
+      reorderer_(config.reorder_mode)
 {
 }
 
 BatchReport
 RealTimeEngine::ingest(const stream::EdgeBatch& batch)
 {
-    ensure_batch_capacity(graph_, batch);
     Timer timer;
+    bool reorder = false;
+    const stream::ReorderedBatch* reordered = reorder_and_reserve(
+        core_, reorderer_, graph_, batch, pool_, reorder);
     BatchReport report = drive_batch(
-        core_, batch, /*hau_available=*/false,
+        core_, batch, reorder, reordered, /*hau_available=*/false,
         [&](const Dispatch& d, const stream::ReorderedBatch* rb,
             stream::OcaProbe* probe, BatchReport&) {
-            stream::RealContext ctx(pool_);
+            stream::RealContext ctx(pool_, &usc_scratch_);
             if (d.reorder && d.usc) {
                 stream::apply_batch_usc(graph_, batch, *rb, ctx, probe);
             } else if (d.reorder) {

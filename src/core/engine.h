@@ -53,6 +53,9 @@ struct EngineConfig {
     UpdatePolicy policy = UpdatePolicy::kAbrUscHau;
     AbrParams abr;
     OcaParams oca;
+    /** Host algorithm producing reordered batches (identical output; the
+     *  simulator charges the paper's sort cost either way). */
+    stream::ReorderMode reorder_mode = stream::ReorderMode::kRadix;
 };
 
 /** Everything the engine did with one batch. */
@@ -115,7 +118,7 @@ class PendingAccumulator {
     void
     add(const stream::EdgeBatch& batch)
     {
-        for (const StreamEdge& e : batch.edges) {
+        for (const StreamEdge& e : batch.edges()) {
             affected_.push_back(e.src);
             affected_.push_back(e.dst);
             if (e.is_delete) {
@@ -171,6 +174,9 @@ class SimEngine {
     detail::DecisionCore core_;
     graph::IndexedAdjacency graph_;
     sim::UpdateRunner runner_;
+    /** Arena-backed reorderer, reused across batches (zero steady-state
+     *  allocations on the radix path). */
+    stream::Reorderer reorderer_;
     detail::PendingAccumulator pending_;
     bool compute_due_ = false;
 };
@@ -199,6 +205,10 @@ class RealTimeEngine {
     detail::DecisionCore core_;
     graph::AdjacencyList graph_;
     ThreadPool& pool_;
+    /** Arena-backed reorderer, reused across batches. */
+    stream::Reorderer reorderer_;
+    /** Per-worker USC coalescing tables, reused across batches. */
+    stream::UscScratch usc_scratch_;
     detail::PendingAccumulator pending_;
     bool compute_due_ = false;
 };

@@ -141,14 +141,14 @@ HauSimulator::run_subphase(graph::IndexedAdjacency& g,
                            const stream::EdgeBatch& batch, bool deletes,
                            stream::OcaProbe* probe, HauRunStats& stats)
 {
-    const std::size_t n = batch.edges.size();
+    const std::size_t n = batch.edges().size();
     std::vector<std::vector<Task>> queues(machine_.num_cores);
 
     // ---- Production: workers 1..15 stream through contiguous shares of
     // the batch, applying the update functionally and emitting two tasks
     // (out at src's tile, in at dst's tile) per streamed edge.
     for (std::size_t i = 0; i < n; ++i) {
-        const StreamEdge& e = batch.edges[i];
+        const StreamEdge& e = batch.edges()[i];
         if (e.is_delete != deletes) {
             continue;
         }
@@ -284,7 +284,7 @@ HauSimulator::run_batch(graph::IndexedAdjacency& g,
     }
 
     bool has_deletes = false;
-    for (const StreamEdge& e : batch.edges) {
+    for (const StreamEdge& e : batch.edges()) {
         if (e.is_delete) {
             has_deletes = true;
             break;

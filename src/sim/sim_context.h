@@ -94,6 +94,18 @@ class SimContext {
         }
     }
 
+    /** Same replay as for_tasks; the host runs sequentially, so every task
+     *  executes as worker 0 (the virtual schedule still spreads the cost). */
+    template <typename F>
+    void
+    for_worker_tasks(std::size_t n, std::size_t chunk, F&& body)
+    {
+        for_tasks(n, chunk,
+                  [&body](std::size_t i) { body(std::size_t{0}, i); });
+    }
+
+    std::size_t workers() const { return 1; }
+
     template <typename Graph, typename F>
     void
     locked_apply(Graph& g, VertexId v, Direction dir, F&& fn)

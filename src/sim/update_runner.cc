@@ -23,9 +23,11 @@ to_string(UpdateMode mode)
 
 UpdateRunner::UpdateRunner(const MachineParams& machine,
                            const SwCostParams& sw, const HauCostParams& hw,
-                           std::size_t num_vertices)
+                           std::size_t num_vertices,
+                           stream::ReorderMode reorder_mode)
     : machine_(machine), sw_(sw),
-      exec_(machine.num_cores, num_vertices * 2), hau_(machine, hw)
+      exec_(machine.num_cores, num_vertices * 2), hau_(machine, hw),
+      reorderer_(reorder_mode)
 {
 }
 
@@ -47,11 +49,9 @@ UpdateRunner::run(graph::IndexedAdjacency& g, const stream::EdgeBatch& batch,
         return s;
     }
 
-    stream::ReorderedBatch local_rb;
     if (reordered == nullptr && (mode == UpdateMode::kReordered ||
                                  mode == UpdateMode::kReorderedUsc)) {
-        local_rb = stream::reorder_batch(batch.edges, default_pool());
-        reordered = &local_rb;
+        reordered = &reorderer_.reorder(batch.edges(), default_pool());
     }
 
     SimContext ctx(exec_, sw_);

@@ -43,9 +43,13 @@ class UpdateRunner {
      * @param sw software cost constants
      * @param hw HAU cost constants
      * @param num_vertices vertex-space size (lock-table sizing)
+     * @param reorder_mode host algorithm for internal reorders (the
+     *        modeled sort cost is charged identically either way)
      */
     UpdateRunner(const MachineParams& machine, const SwCostParams& sw,
-                 const HauCostParams& hw, std::size_t num_vertices);
+                 const HauCostParams& hw, std::size_t num_vertices,
+                 stream::ReorderMode reorder_mode =
+                     stream::ReorderMode::kRadix);
 
     /**
      * Ingest `batch` into `g` using `mode`; returns the batch's modeled
@@ -78,6 +82,8 @@ class UpdateRunner {
     SwCostParams sw_;
     ExecSim exec_;
     HauSimulator hau_;
+    /** Arena-backed reorderer for RO runs without a caller-provided view. */
+    stream::Reorderer reorderer_;
     std::optional<HauRunStats> last_hau_;
 };
 

@@ -19,14 +19,58 @@
 
 namespace igs::stream {
 
-/** A batch of streamed graph modifications, in arrival order. */
-struct EdgeBatch {
+/**
+ * A batch of streamed graph modifications, in arrival order.
+ *
+ * The edge array is filled through @ref set_edges / @ref push_edge so the
+ * batch can cache per-batch facts at construction time instead of paying
+ * extra scans in the update hot path — currently whether the batch contains
+ * any deletion (the baseline kernel's second pass is skipped using it).
+ */
+class EdgeBatch {
+  public:
     /** 1-based batch sequence number (0 = "no batch yet" in latest_bid). */
     std::uint64_t id = 1;
-    std::vector<StreamEdge> edges;
 
-    std::size_t size() const { return edges.size(); }
-    bool empty() const { return edges.empty(); }
+    EdgeBatch() = default;
+    EdgeBatch(std::uint64_t bid, std::vector<StreamEdge> e) : id(bid)
+    {
+        set_edges(std::move(e));
+    }
+
+    /** Replace the batch contents, refreshing the cached flags. */
+    void
+    set_edges(std::vector<StreamEdge> e)
+    {
+        edges_ = std::move(e);
+        has_deletes_ = false;
+        for (const StreamEdge& edge : edges_) {
+            if (edge.is_delete) {
+                has_deletes_ = true;
+                break;
+            }
+        }
+    }
+
+    /** Append one modification, keeping the cached flags current. */
+    void
+    push_edge(const StreamEdge& e)
+    {
+        has_deletes_ = has_deletes_ || e.is_delete;
+        edges_.push_back(e);
+    }
+
+    const std::vector<StreamEdge>& edges() const { return edges_; }
+
+    /** Cached at fill time: does the batch contain any deletion? */
+    bool has_deletes() const { return has_deletes_; }
+
+    std::size_t size() const { return edges_.size(); }
+    bool empty() const { return edges_.empty(); }
+
+  private:
+    std::vector<StreamEdge> edges_;
+    bool has_deletes_ = false;
 };
 
 /** Degree statistics of one batch, as used by the characterization study. */

@@ -1,5 +1,9 @@
 #include "stream/reorder.h"
 
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
 #include "common/parallel_sort.h"
 
 namespace igs::stream {
@@ -7,6 +11,11 @@ namespace igs::stream {
 std::vector<VertexRun>
 build_runs(std::span<const StreamEdge> sorted, Direction key)
 {
+    // VertexRun offsets are 32-bit; a batch that would overflow them must
+    // fail loudly rather than silently truncate run boundaries.
+    IGS_CHECK_MSG(sorted.size() <=
+                      std::numeric_limits<std::uint32_t>::max(),
+                  "batch too large for 32-bit run offsets");
     std::vector<VertexRun> runs;
     const auto key_of = [key](const StreamEdge& e) {
         return key == Direction::kOut ? e.src : e.dst;
@@ -46,6 +55,42 @@ reorder_batch(std::span<const StreamEdge> edges, ThreadPool& pool)
     rb.by_dst.runs = build_runs(rb.by_dst.edges, Direction::kIn);
 
     return rb;
+}
+
+const char*
+to_string(ReorderMode mode)
+{
+    switch (mode) {
+      case ReorderMode::kRadix:
+        return "radix";
+      case ReorderMode::kComparison:
+        return "comparison";
+    }
+    return "?";
+}
+
+VertexId
+max_vertex_of(std::span<const StreamEdge> edges)
+{
+    VertexId max_v = 0;
+    for (const StreamEdge& e : edges) {
+        max_v = std::max({max_v, e.src, e.dst});
+    }
+    return max_v;
+}
+
+const ReorderedBatch&
+Reorderer::reorder(std::span<const StreamEdge> edges, ThreadPool& pool)
+{
+    if (mode_ == ReorderMode::kRadix) {
+        max_vertex_ = detail::reorder_batch_radix(edges, pool, scratch_);
+        return scratch_.rb;
+    }
+    // Comparison path: the paper's two stable sorts into the reused
+    // ReorderedBatch storage (allocation behaviour matches the oracle).
+    scratch_.rb = reorder_batch(edges, pool);
+    max_vertex_ = max_vertex_of(edges);
+    return scratch_.rb;
 }
 
 } // namespace igs::stream

@@ -16,6 +16,9 @@
  *
  *   static constexpr bool kSimulated;
  *   void for_tasks(n, chunk, body);          // parallel loop, body(i)
+ *   void for_worker_tasks(n, chunk, body);   // parallel loop, body(worker, i)
+ *                                            // worker < workers(); stable id
+ *   std::size_t workers();                   // max worker id bound + 1
  *   void locked_apply(graph, v, dir, fn);    // fn() -> ApplyResult under
  *                                            // (v,dir)'s lock
  *   void apply(fn);                          // fn() -> ApplyResult, no lock
@@ -32,7 +35,9 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <vector>
 
+#include "common/flat_table.h"
 #include "common/thread_pool.h"
 #include "common/types.h"
 
@@ -80,18 +85,60 @@ class OcaProbe {
     std::atomic<std::uint64_t> nodes_{0};
 };
 
+/**
+ * Per-worker USC coalescing tables, reusable across batches.  Owned by the
+ * engine (so capacity survives between ingests) and lent to RealContext;
+ * a context constructed without one falls back to internal storage.
+ */
+struct UscScratch {
+    std::vector<FlatWeightTable> tables;
+};
+
 /** Production context: real parallelism, real locks, no cost accounting. */
 class RealContext {
   public:
     static constexpr bool kSimulated = false;
 
-    explicit RealContext(ThreadPool& pool = default_pool()) : pool_(pool) {}
+    explicit RealContext(ThreadPool& pool = default_pool(),
+                         UscScratch* usc = nullptr)
+        : pool_(pool), usc_(usc != nullptr ? usc : &own_usc_)
+    {
+        // Sized up front: usc_table() is called from inside parallel
+        // regions, where growing the vector would race.
+        if (usc_->tables.size() < pool_.size()) {
+            usc_->tables.resize(pool_.size());
+        }
+    }
 
     template <typename F>
     void
     for_tasks(std::size_t n, std::size_t chunk, F&& body)
     {
         pool_.parallel_for(0, n, body, chunk);
+    }
+
+    /** Parallel loop whose body also receives a stable worker id, so it can
+     *  address per-worker scratch (e.g. @ref usc_table) without locking. */
+    template <typename F>
+    void
+    for_worker_tasks(std::size_t n, std::size_t chunk, F&& body)
+    {
+        pool_.parallel_chunks(
+            0, n,
+            [&body](std::size_t tid, std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) {
+                    body(tid, i);
+                }
+            },
+            chunk);
+    }
+
+    std::size_t workers() const { return pool_.size(); }
+
+    /** Reusable coalescing table of `worker` (never shrunk). */
+    FlatWeightTable& usc_table(std::size_t worker)
+    {
+        return usc_->tables[worker];
     }
 
     template <typename Graph, typename F>
@@ -120,6 +167,8 @@ class RealContext {
 
   private:
     ThreadPool& pool_;
+    UscScratch* usc_;
+    UscScratch own_usc_; // fallback when no engine-owned scratch is lent
 };
 
 } // namespace igs::stream

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/flat_table.h"
 #include "common/types.h"
 #include "stream/batch.h"
 #include "stream/reorder.h"
@@ -44,16 +45,11 @@ touch_source(Graph& g, VertexId src, std::uint64_t bid, OcaProbe* probe)
     }
 }
 
-/** True if the batch contains at least one deletion. */
+/** True if the batch contains at least one deletion (cached at fill time). */
 inline bool
 batch_has_deletes(const EdgeBatch& batch)
 {
-    for (const StreamEdge& e : batch.edges) {
-        if (e.is_delete) {
-            return true;
-        }
-    }
-    return false;
+    return batch.has_deletes();
 }
 
 /**
@@ -65,7 +61,7 @@ void
 apply_batch_baseline(Graph& g, const EdgeBatch& batch, Ctx& ctx,
                      OcaProbe* probe = nullptr)
 {
-    const auto& edges = batch.edges;
+    const auto& edges = batch.edges();
     ctx.charge_pass_setup();
     // Insertions first (engine-wide ordering rule).
     ctx.for_tasks(edges.size(), kEdgeChunk, [&](std::size_t i) {
@@ -179,31 +175,35 @@ apply_usc_direction(Graph& g, const ReorderedDirection& rd, Direction dir,
                     std::uint64_t bid, Ctx& ctx, OcaProbe* probe)
 {
     ctx.charge_pass_setup();
-    ctx.for_tasks(rd.runs.size(), kRunChunk, [&](std::size_t ri) {
+    ctx.for_worker_tasks(rd.runs.size(), kRunChunk,
+                         [&](std::size_t worker, std::size_t ri) {
         const VertexRun& run = rd.runs[ri];
         ctx.charge_run_overhead();
         if (dir == Direction::kOut) {
             touch_source(g, run.vertex, bid, probe);
         }
 
-        // Step 1 (Fig 8): populate the run's target -> weight table,
-        // accumulating duplicate targets within the run.
-        std::unordered_map<VertexId, Weight> table;
-        std::size_t num_inserts = 0;
-        for (std::uint32_t i = run.begin; i < run.end; ++i) {
-            const StreamEdge& e = rd.edges[i];
-            if (e.is_delete) {
-                continue;
+        if constexpr (Ctx::kSimulated) {
+            (void)worker;
+            // Step 1 (Fig 8): populate the run's target -> weight table,
+            // accumulating duplicate targets within the run.  The simulated
+            // path keeps std::unordered_map: its iteration order fixes the
+            // edge append order the cycle model depends on downstream.
+            std::unordered_map<VertexId, Weight> table;
+            std::size_t num_inserts = 0;
+            for (std::uint32_t i = run.begin; i < run.end; ++i) {
+                const StreamEdge& e = rd.edges[i];
+                if (e.is_delete) {
+                    continue;
+                }
+                const VertexId target = dir == Direction::kOut ? e.dst : e.src;
+                table[target] += e.weight;
+                ++num_inserts;
             }
-            const VertexId target = dir == Direction::kOut ? e.dst : e.src;
-            table[target] += e.weight;
-            ++num_inserts;
-        }
-        ctx.charge_hash_build(num_inserts);
+            ctx.charge_hash_build(num_inserts);
 
-        if (!table.empty()) {
-            const std::size_t len_before = g.degree(run.vertex, dir);
-            if constexpr (Ctx::kSimulated) {
+            if (!table.empty()) {
+                const std::size_t len_before = g.degree(run.vertex, dir);
                 // Functional shortcut: applying each table entry through the
                 // indexed structure produces the same state the single scan
                 // would; the scan's cost is charged analytically.
@@ -214,21 +214,40 @@ apply_usc_direction(Graph& g, const ReorderedDirection& rd, Direction dir,
                     appended += r.found ? 0 : 1;
                 }
                 ctx.charge_coalesced_scan(len_before, len_before, appended);
-            } else {
+            }
+        } else {
+            // Production path: the run's table is this worker's reusable
+            // open-addressing array (no per-run node allocations).
+            FlatWeightTable& table = ctx.usc_table(worker);
+            table.reset(run.size());
+            std::size_t num_inserts = 0;
+            for (std::uint32_t i = run.begin; i < run.end; ++i) {
+                const StreamEdge& e = rd.edges[i];
+                if (e.is_delete) {
+                    continue;
+                }
+                const VertexId target = dir == Direction::kOut ? e.dst : e.src;
+                table.add(target, e.weight);
+                ++num_inserts;
+            }
+            ctx.charge_hash_build(num_inserts);
+
+            if (!table.empty()) {
                 // Steps 2-4 (Fig 8): one scan of the edge data, hash lookups
                 // per element, then append the non-matching remainder.
                 auto& edge_data = g.edges_mut(run.vertex, dir);
                 for (Neighbor& n : edge_data) {
-                    const auto it = table.find(n.id);
-                    if (it != table.end()) {
-                        n.weight += it->second;
-                        table.erase(it);
+                    Weight w = 0.0f;
+                    if (table.take(n.id, &w)) {
+                        n.weight += w;
                     }
                 }
-                for (const auto& [target, w] : table) {
+                std::size_t appended = 0;
+                table.for_each([&](VertexId target, Weight w) {
                     edge_data.push_back(Neighbor{target, w});
-                }
-                g.note_edges_added(dir, table.size());
+                    ++appended;
+                });
+                g.note_edges_added(dir, appended);
             }
         }
 

@@ -90,7 +90,7 @@ TEST(IncrementalPageRank, ConvergesTowardStaticResult)
             if (d == s) {
                 d = (d + 1) % 50;
             }
-            batch.edges.push_back({s, d, 1.0f, false});
+            batch.push_edge({s, d, 1.0f, false});
             affected.push_back(s);
             affected.push_back(d);
         }
@@ -168,10 +168,10 @@ TEST_P(IncSsspTest, MatchesStaticAfterEveryBatch)
     for (std::uint64_t k = 1; k <= 8; ++k) {
         stream::EdgeBatch batch;
         batch.id = k;
-        batch.edges = genr.take(150);
+        batch.set_edges(genr.take(150));
         std::vector<StreamEdge> ins;
         std::vector<StreamEdge> del;
-        for (const auto& e : batch.edges) {
+        for (const auto& e : batch.edges()) {
             (e.is_delete ? del : ins).push_back(e);
         }
         stream::apply_batch_baseline(g, batch, ctx);

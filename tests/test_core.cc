@@ -228,7 +228,7 @@ engine_batch(std::uint64_t id, std::size_t n, std::uint64_t seed)
     m.seed = seed;
     stream::EdgeBatch b;
     b.id = id;
-    b.edges = gen::EdgeStreamGenerator(m).take(n);
+    b.set_edges(gen::EdgeStreamGenerator(m).take(n));
     return b;
 }
 
@@ -273,7 +273,7 @@ TEST(SimEngine, DispatchFlagsMatchPolicy)
     for (std::uint64_t k = 1; k <= 4; ++k) {
         stream::EdgeBatch b;
         b.id = k;
-        b.edges = g.take(1000);
+        b.set_edges(g.take(1000));
         const auto r = engine.ingest(b);
         if (k == 1) {
             EXPECT_TRUE(r.reordered); // default-RO first batch
@@ -362,7 +362,7 @@ TEST(Engine, GrowsVertexSpaceOnDemand)
                      sim::HauCostParams{}, 4);
     stream::EdgeBatch b;
     b.id = 1;
-    b.edges = {{100, 200, 1.0f, false}};
+    b.set_edges({{100, 200, 1.0f, false}});
     engine.ingest(b);
     EXPECT_GE(engine.graph().num_vertices(), 201u);
     EXPECT_EQ(engine.graph().degree(100, Direction::kOut), 1u);

@@ -241,8 +241,8 @@ TEST(Registry, CadClassifiesFriendlinessAt100K)
     for (const auto& d : registry()) {
         auto g = d.make_generator();
         stream::EdgeBatch batch;
-        batch.edges = g.take(100000);
-        const auto rb = stream::reorder_batch(batch.edges, default_pool());
+        batch.set_edges(g.take(100000));
+        const auto rb = stream::reorder_batch(batch.edges(), default_pool());
         const auto cad = core::cad_from_reordered(rb, 256);
         if (d.reorder_friendly) {
             EXPECT_GE(cad.cad(), 465.0) << d.name;

@@ -47,7 +47,7 @@ run_pipeline(const std::string& dataset, UpdatePolicy policy, bool oca,
     for (std::uint64_t k = 1; k <= batches; ++k) {
         stream::EdgeBatch batch;
         batch.id = k;
-        batch.edges = genr.take(batch_size);
+        batch.set_edges(genr.take(batch_size));
         const auto report = engine.ingest(batch);
         out.update_cycles += report.update.cycles;
         if (engine.compute_due()) {
@@ -166,7 +166,7 @@ TEST(Integration, IncrementalSsspSurvivesFullPipeline)
     for (std::uint64_t k = 1; k <= 4; ++k) {
         stream::EdgeBatch batch;
         batch.id = k;
-        batch.edges = genr.take(3000);
+        batch.set_edges(genr.take(3000));
         engine.ingest(batch);
         const auto work = engine.take_pending_work();
         sssp.on_batch(engine.graph(), work.inserted, work.deleted);

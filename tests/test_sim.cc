@@ -198,7 +198,7 @@ make_batch(std::uint64_t id, std::size_t n, std::uint64_t seed,
     m.seed = seed;
     stream::EdgeBatch b;
     b.id = id;
-    b.edges = gen::EdgeStreamGenerator(m).take(n);
+    b.set_edges(gen::EdgeStreamGenerator(m).take(n));
     return b;
 }
 
@@ -301,7 +301,7 @@ TEST(Hau, TasksHashOverWorkerCores)
         if (d == s) {
             d = (d + 1) % 1000;
         }
-        batch.edges.push_back({s, d, 1.0f, false});
+        batch.push_edge({s, d, 1.0f, false});
     }
     const auto stats = hau.run_batch(g, batch);
     EXPECT_EQ(stats.tasks, 6000u);
@@ -332,7 +332,7 @@ TEST(Hau, LocalTileServesAlmostAllLines)
         gen::StreamModel m;
         m.num_vertices = 2000;
         m.seed = k;
-        batch.edges = gen::EdgeStreamGenerator(m).take(5000);
+        batch.set_edges(gen::EdgeStreamGenerator(m).take(5000));
         const auto stats = hau.run_batch(g, batch);
         std::uint64_t local = 0;
         std::uint64_t lines = 0;
@@ -357,7 +357,7 @@ TEST(Hau, InsertionsBeforeDeletionsWithinBatch)
     batch.id = 1;
     // Delete arrives *before* the insert in stream order; the ordering
     // rule still applies the insert first, so the delete removes it.
-    batch.edges = {{1, 2, 1.0f, true}, {1, 2, 1.0f, false}};
+    batch.set_edges({{1, 2, 1.0f, true}, {1, 2, 1.0f, false}});
     const auto stats = hau.run_batch(g, batch);
     EXPECT_EQ(stats.inserts, 2u);  // out + in entries
     EXPECT_EQ(stats.removes, 2u);
@@ -375,7 +375,7 @@ TEST(Hau, TaskTrafficRaisesPacketLatencyOnlyModestly)
     m.seed = 77;
     stream::EdgeBatch batch;
     batch.id = 1;
-    batch.edges = gen::EdgeStreamGenerator(m).take(20000);
+    batch.set_edges(gen::EdgeStreamGenerator(m).take(20000));
     hau.run_batch(g, batch);
     // The counterfactual NoC saw the same data packets without the task
     // class; with tasks the data latency may rise, but only modestly

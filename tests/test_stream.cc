@@ -131,10 +131,10 @@ TEST(Updaters, BaselineAppliesInsertsAndDeletes)
     RealContext ctx;
     EdgeBatch b;
     b.id = 1;
-    b.edges = {{0, 1, 2.0f, false},
+    b.set_edges({{0, 1, 2.0f, false},
                {0, 2, 1.0f, false},
                {0, 1, 3.0f, false},  // duplicate: accumulate
-               {0, 2, 0.0f, true}};  // delete in same batch
+               {0, 2, 0.0f, true}});  // delete in same batch
     apply_batch_baseline(g, b, ctx);
     EXPECT_EQ(g.degree(0, Direction::kOut), 1u);
     EXPECT_FLOAT_EQ(g.edges(0, Direction::kOut)[0].weight, 5.0f);
@@ -182,12 +182,12 @@ TEST_P(KernelEquivalenceTest, AllPathsAgree)
         std::vector<StreamEdge> all = g.take(batch_size * kBatches);
         EdgeBatch batch;
         batch.id = k + 1;
-        batch.edges.assign(all.begin() + static_cast<long>(k * batch_size),
-                           all.begin() +
-                               static_cast<long>((k + 1) * batch_size));
+        batch.set_edges(std::vector<StreamEdge>(
+            all.begin() + static_cast<long>(k * batch_size),
+            all.begin() + static_cast<long>((k + 1) * batch_size)));
 
         apply_batch_baseline(baseline, batch, ctx);
-        const auto rb = reorder_batch(batch.edges, pool);
+        const auto rb = reorder_batch(batch.edges(), pool);
         apply_batch_reordered(reordered, batch, rb, ctx);
         apply_batch_usc(usc, batch, rb, ctx);
     }
@@ -218,7 +218,7 @@ TEST(Updaters, DahMatchesAdjacencyListUnderBaseline)
     for (int k = 0; k < 4; ++k) {
         EdgeBatch b;
         b.id = static_cast<std::uint64_t>(k + 1);
-        b.edges = random_edges(2000, 100 + k, 0.15);
+        b.set_edges(random_edges(2000, 100 + k, 0.15));
         apply_batch_baseline(al, b, ctx);
         apply_batch_baseline(dah, b, ctx);
     }
@@ -243,7 +243,7 @@ TEST(Updaters, OcaProbeSeesOverlapThroughBaselineUpdates)
     EdgeBatch b1;
     b1.id = 1;
     for (VertexId v = 0; v < 50; ++v) {
-        b1.edges.push_back({v, static_cast<VertexId>(v + 50), 1.0f, false});
+        b1.push_edge({v, static_cast<VertexId>(v + 50), 1.0f, false});
     }
     apply_batch_baseline(g, b1, ctx);
 
@@ -252,7 +252,7 @@ TEST(Updaters, OcaProbeSeesOverlapThroughBaselineUpdates)
     for (VertexId v = 0; v < 50; ++v) {
         // Half the sources repeat from batch 1.
         const VertexId src = v < 25 ? v : static_cast<VertexId>(v + 25);
-        b2.edges.push_back({src, static_cast<VertexId>(99 - src % 50),
+        b2.push_edge({src, static_cast<VertexId>(99 - src % 50),
                             1.0f, false});
     }
     OcaProbe probe;

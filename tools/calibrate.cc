@@ -52,7 +52,7 @@ main(int argc, char** argv)
                 for (std::size_t k = 0; k < nb; ++k) {
                     stream::EdgeBatch batch;
                     batch.id = k + 1;
-                    batch.edges = genr.take(b);
+                    batch.set_edges(genr.take(b));
                     stream::OcaProbe probe;
                     const auto stats =
                         runner.run(g, batch, modes[m], m == 0 ? &probe : nullptr);
@@ -63,7 +63,7 @@ main(int argc, char** argv)
                             ++overlap_n;
                         }
                         const auto rb =
-                            stream::reorder_batch(batch.edges, default_pool());
+                            stream::reorder_batch(batch.edges(), default_pool());
                         const auto cad = core::cad_from_reordered(rb, 256);
                         cad_sum += cad.cad();
                         max_out = std::max(
