@@ -14,10 +14,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "common/spinlock.h"
 
@@ -64,22 +64,25 @@ class ConcurrentHashMap {
     update(Key key, Fn&& fn)
     {
         Shard& s = shard_for(key);
-        std::lock_guard lk(s.lock);
+        SpinlockGuard lk(s.lock);
         fn(s.find_or_insert(key));
     }
 
     /** Look up `key`; returns nullptr if absent. Thread-safe vs. readers
      *  only — do not race with concurrent `update`. */
+    // Quiescent-read contract (no concurrent update), not lock-based —
+    // inexpressible to the analysis.
     const Value*
-    find(Key key) const
+    find(Key key) const IGS_NO_THREAD_SAFETY_ANALYSIS
     {
         const Shard& s = shard_for(key);
         return s.find(key);
     }
 
     /** Total number of entries (not thread-safe vs. writers). */
+    // Quiescent-read contract, as for find().
     std::size_t
-    size() const
+    size() const IGS_NO_THREAD_SAFETY_ANALYSIS
     {
         std::size_t n = 0;
         for (const auto& s : shards_) {
@@ -89,9 +92,10 @@ class ConcurrentHashMap {
     }
 
     /** Visit every (key, value) pair single-threaded. */
+    // Single-threaded sweep phase of accumulate-then-sweep; no lock held.
     template <typename Fn>
     void
-    for_each(Fn&& fn) const
+    for_each(Fn&& fn) const IGS_NO_THREAD_SAFETY_ANALYSIS
     {
         for (const auto& s : shards_) {
             for (std::size_t i = 0; i < s->slots.size(); ++i) {
@@ -102,9 +106,9 @@ class ConcurrentHashMap {
         }
     }
 
-    /** Remove all entries, keeping capacity. */
+    /** Remove all entries, keeping capacity. Single-threaded. */
     void
-    clear()
+    clear() IGS_NO_THREAD_SAFETY_ANALYSIS
     {
         for (auto& s : shards_) {
             std::fill(s->used.begin(), s->used.end(), false);
@@ -115,13 +119,14 @@ class ConcurrentHashMap {
   private:
     struct Shard {
         Spinlock lock;
-        std::vector<std::pair<Key, Value>> slots;
-        std::vector<bool> used;
-        std::size_t count = 0;
-        std::size_t mask = 0;
+        std::vector<std::pair<Key, Value>> slots IGS_GUARDED_BY(lock);
+        std::vector<bool> used IGS_GUARDED_BY(lock);
+        std::size_t count IGS_GUARDED_BY(lock) = 0;
+        std::size_t mask IGS_GUARDED_BY(lock) = 0;
 
+        // Construction-time sizing; the shard is not yet shared.
         void
-        init(std::size_t capacity)
+        init(std::size_t capacity) IGS_NO_THREAD_SAFETY_ANALYSIS
         {
             std::size_t cap = 16;
             while (cap < capacity) {
@@ -133,7 +138,7 @@ class ConcurrentHashMap {
         }
 
         void
-        grow()
+        grow() IGS_REQUIRES(lock)
         {
             std::vector<std::pair<Key, Value>> old_slots = std::move(slots);
             std::vector<bool> old_used = std::move(used);
@@ -147,7 +152,7 @@ class ConcurrentHashMap {
         }
 
         Value&
-        find_or_insert(Key key)
+        find_or_insert(Key key) IGS_REQUIRES(lock)
         {
             if (count * 4 >= slots.size() * 3) {
                 grow();
@@ -165,8 +170,9 @@ class ConcurrentHashMap {
             return slots[i].second;
         }
 
+        // Reached only through the map's quiescent-read entry points.
         const Value*
-        find(Key key) const
+        find(Key key) const IGS_NO_THREAD_SAFETY_ANALYSIS
         {
             if (slots.empty()) {
                 return nullptr;
@@ -181,8 +187,10 @@ class ConcurrentHashMap {
             return nullptr;
         }
 
+        // Reads only `mask`, which is immutable once the shard is shared;
+        // called from both locked and quiescent-read paths.
         std::size_t
-        probe_start(Key key) const
+        probe_start(Key key) const IGS_NO_THREAD_SAFETY_ANALYSIS
         {
             return hash_key(key) & mask;
         }

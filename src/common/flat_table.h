@@ -9,7 +9,12 @@
  * from older epochs read as empty), and iteration is O(live entries) in
  * insertion order via a side list of slot indices — which also makes the
  * appended-remainder order deterministic, unlike `std::unordered_map`.
+ *
+ * The IGS_HOT_PATH tag makes tools/igs_lint.py enforce the zero-allocation
+ * guarantee: growth here is legal only at the audited pragma'd sites (first
+ * encounter with a larger run), never per steady-state call.
  */
+// IGS_HOT_PATH
 #ifndef IGS_COMMON_FLAT_TABLE_H
 #define IGS_COMMON_FLAT_TABLE_H
 
@@ -40,8 +45,10 @@ class FlatWeightTable {
         }
         if (needed > slots_.size()) {
             slots_.clear();
-            slots_.resize(needed);
-            entries_.reserve(needed / 2);
+            // Grows only past the largest run ever seen; steady state
+            // never enters this branch.
+            slots_.resize(needed); // igs-lint: allow(hot-path-alloc)
+            entries_.reserve(needed / 2); // igs-lint: allow(hot-path-alloc)
             epoch_ = 0;
         }
         if (++epoch_ == 0) { // epoch wrapped: old stamps ambiguous, wipe
@@ -59,6 +66,7 @@ class FlatWeightTable {
         Slot& s = slots_[probe(key)];
         if (s.epoch != epoch_) {
             s = Slot{key, epoch_, w, false};
+            // igs-lint: allow(hot-path-alloc) capacity reserved by reset()
             entries_.push_back(static_cast<std::uint32_t>(&s - slots_.data()));
         } else {
             s.weight += w;

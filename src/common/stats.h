@@ -3,6 +3,12 @@
  * Small statistics helpers used by the characterization and bench harnesses
  * (geometric means for speedup aggregation, histograms for degree
  * distributions, Welford accumulation for repeated-run reporting).
+ *
+ * Thread-compatibility: these accumulators are deliberately unsynchronized
+ * — each harness/worker owns its own instance and merges single-threaded.
+ * Sharing one across threads is a bug; shared counters belong on
+ * std::atomic with explicit memory_order (cf. stream::OcaProbe), which the
+ * TSan leg of tools/check_matrix.sh would catch here.
  */
 #ifndef IGS_COMMON_STATS_H
 #define IGS_COMMON_STATS_H

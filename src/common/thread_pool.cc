@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(std::size_t num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard lk(mutex_);
+        MutexLock lk(mutex_);
         stop_ = true;
     }
     cv_start_.notify_all();
@@ -38,8 +38,13 @@ ThreadPool::worker_loop(std::size_t id)
     while (true) {
         const std::function<void(std::size_t)>* job = nullptr;
         {
-            std::unique_lock lk(mutex_);
-            cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+            // Explicit predicate loop (not the wait-with-lambda overload):
+            // the guarded reads stay in this scope, where the analysis can
+            // see MutexLock holds mutex_.
+            MutexLock lk(mutex_);
+            while (!stop_ && epoch_ == seen_epoch) {
+                cv_start_.wait(lk.native());
+            }
             if (stop_) {
                 return;
             }
@@ -48,7 +53,7 @@ ThreadPool::worker_loop(std::size_t id)
         }
         (*job)(id);
         {
-            std::lock_guard lk(mutex_);
+            MutexLock lk(mutex_);
             if (--active_ == 0) {
                 cv_done_.notify_all();
             }
@@ -60,7 +65,7 @@ void
 ThreadPool::run(const std::function<void(std::size_t)>& fn)
 {
     {
-        std::lock_guard lk(mutex_);
+        MutexLock lk(mutex_);
         IGS_CHECK_MSG(job_ == nullptr, "ThreadPool::run is not reentrant");
         job_ = &fn;
         active_ = num_threads_ - 1;
@@ -69,8 +74,10 @@ ThreadPool::run(const std::function<void(std::size_t)>& fn)
     cv_start_.notify_all();
     fn(0); // caller participates as worker 0
     {
-        std::unique_lock lk(mutex_);
-        cv_done_.wait(lk, [&] { return active_ == 0; });
+        MutexLock lk(mutex_);
+        while (active_ != 0) {
+            cv_done_.wait(lk.native());
+        }
         job_ = nullptr;
     }
 }

@@ -15,9 +15,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace igs {
 
@@ -74,13 +76,19 @@ class ThreadPool {
     std::size_t num_threads_;
     std::vector<std::thread> threads_;
 
-    std::mutex mutex_;
+    /** Guards the fork/join handshake state below; condition variables wait
+     *  on its native std::mutex (see mutex.h for the annotation scheme). */
+    Mutex mutex_;
     std::condition_variable cv_start_;
     std::condition_variable cv_done_;
-    const std::function<void(std::size_t)>* job_ = nullptr;
-    std::uint64_t epoch_ = 0;
-    std::size_t active_ = 0;
-    bool stop_ = false;
+    /** Job of the current epoch; null between run() calls. */
+    const std::function<void(std::size_t)>* job_ IGS_GUARDED_BY(mutex_) =
+        nullptr;
+    /** Bumped per run(); workers start when it moves past their last seen. */
+    std::uint64_t epoch_ IGS_GUARDED_BY(mutex_) = 0;
+    /** Spawned workers still executing the current job. */
+    std::size_t active_ IGS_GUARDED_BY(mutex_) = 0;
+    bool stop_ IGS_GUARDED_BY(mutex_) = false;
 };
 
 /** Process-wide default pool (lazily constructed, sized to the host). */

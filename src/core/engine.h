@@ -185,6 +185,14 @@ class SimEngine {
  * Real-host input-aware engine: actual threads, actual locks.  Timing is
  * wall-clock; HAU is unavailable (hardware) so kAbrUscHau and kAlwaysHau
  * degrade to their software equivalents.
+ *
+ * Threading contract (see DESIGN.md §8): `ingest` is externally
+ * serialized — one batch in flight at a time.  Parallelism happens *inside*
+ * an ingest, where the update kernels synchronize via the graph's
+ * per-vertex SpinlockArray (baseline path) or run-ownership (reordered
+ * paths, lock-free by construction).  The engine's own members
+ * (reorderer_, usc_scratch_, pending_) are only touched from the ingest
+ * caller or from per-worker slots, so they need no locks of their own.
  */
 class RealTimeEngine {
   public:

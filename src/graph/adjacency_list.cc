@@ -28,8 +28,8 @@ AdjacencyList::ensure_vertices(std::size_t n)
     // Locks are only held during a parallel update phase; growing the vertex
     // space happens between batches, so fresh (unlocked) lock arrays are
     // equivalent to the old ones.
-    out_locks_ = std::make_unique<Spinlock[]>(n);
-    in_locks_ = std::make_unique<Spinlock[]>(n);
+    out_locks_.resize(n);
+    in_locks_.resize(n);
 }
 
 ApplyResult

@@ -170,8 +170,9 @@ DegreeAwareHash::ensure_vertices(std::size_t n)
     }
     latest_bid_ = std::move(new_bids);
     latest_bid_size_ = n;
-    out_locks_ = std::make_unique<Spinlock[]>(n);
-    in_locks_ = std::make_unique<Spinlock[]>(n);
+    // As in AdjacencyList: growth happens between batches, with no lock held.
+    out_locks_.resize(n);
+    in_locks_.resize(n);
 }
 
 ApplyResult

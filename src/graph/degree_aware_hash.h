@@ -158,8 +158,8 @@ class DegreeAwareHash {
   private:
     std::vector<DahEdgeSet> out_;
     std::vector<DahEdgeSet> in_;
-    std::unique_ptr<Spinlock[]> out_locks_;
-    std::unique_ptr<Spinlock[]> in_locks_;
+    SpinlockArray out_locks_;
+    SpinlockArray in_locks_;
     std::unique_ptr<std::atomic<std::uint64_t>[]> latest_bid_;
     std::size_t latest_bid_size_ = 0;
     std::atomic<EdgeId> num_edges_{0};

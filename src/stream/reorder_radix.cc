@@ -21,7 +21,11 @@
  * captures fit std::function's small-object buffer, and all arrays grow
  * monotonically inside the scratch arena, so steady-state reordering
  * performs zero heap allocations (asserted by tests/test_reorder_radix.cc).
+ * The IGS_HOT_PATH tag below makes tools/igs_lint.py enforce that
+ * discipline: any new allocation or container growth in this file must
+ * carry an audited `igs-lint: allow(hot-path-alloc)` pragma.
  */
+// IGS_HOT_PATH
 #include "stream/reorder.h"
 
 #include <algorithm>
@@ -47,7 +51,7 @@ void
 ensure_size(std::vector<T>& v, std::size_t n)
 {
     if (v.size() < n) {
-        v.resize(n);
+        v.resize(n); // igs-lint: allow(hot-path-alloc) grow-only arena
     }
 }
 
@@ -136,6 +140,7 @@ runs_from_histogram(const std::uint32_t* worker0_row,
             b + 1 < buckets_used ? worker0_row[b + 1]
                                  : static_cast<std::uint32_t>(n);
         if (end > begin) {
+            // igs-lint: allow(hot-path-alloc) reuses retained run capacity
             runs.push_back(
                 VertexRun{static_cast<VertexId>(b), begin, end});
         }
@@ -177,7 +182,7 @@ runs_from_boundaries(ThreadPool& pool, std::size_t workers,
         total += count;
     }
     runs.clear();
-    runs.resize(total);
+    runs.resize(total); // igs-lint: allow(hot-path-alloc) grow-only arena
     ctx.runs = runs.data();
 
     run_workers(pool, workers, [c = &ctx](std::size_t w) {
@@ -277,8 +282,8 @@ reorder_batch_radix(std::span<const StreamEdge> edges, ThreadPool& pool,
     IGS_CHECK_MSG(n <= std::numeric_limits<std::uint32_t>::max(),
                   "batch too large for 32-bit run offsets");
     s.rb.batch_size = n;
-    s.rb.by_src.edges.resize(n);
-    s.rb.by_dst.edges.resize(n);
+    s.rb.by_src.edges.resize(n); // igs-lint: allow(hot-path-alloc) arena
+    s.rb.by_dst.edges.resize(n); // igs-lint: allow(hot-path-alloc) arena
     if (n == 0) {
         s.rb.by_src.runs.clear();
         s.rb.by_dst.runs.clear();

@@ -34,10 +34,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "common/flat_table.h"
+#include "common/spinlock.h"
 #include "common/thread_pool.h"
 #include "common/types.h"
 
@@ -67,16 +67,26 @@ class OcaProbe {
         }
     }
 
-    std::uint64_t unique_nodes() const { return nodes_; }
-    std::uint64_t overlapping_nodes() const { return overlap_; }
+    std::uint64_t
+    unique_nodes() const
+    {
+        return nodes_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    overlapping_nodes() const
+    {
+        return overlap_.load(std::memory_order_relaxed);
+    }
 
     /** overlap_counter / node_counter, the paper's locality measure. */
     double
     ratio() const
     {
-        const std::uint64_t n = nodes_;
+        const std::uint64_t n = nodes_.load(std::memory_order_relaxed);
         return n == 0 ? 0.0
-                      : static_cast<double>(overlap_.load()) /
+                      : static_cast<double>(
+                            overlap_.load(std::memory_order_relaxed)) /
                             static_cast<double>(n);
     }
 
@@ -145,7 +155,7 @@ class RealContext {
     void
     locked_apply(Graph& g, VertexId v, Direction dir, F&& fn)
     {
-        std::lock_guard lk(g.lock(v, dir));
+        SpinlockGuard lk(g.lock(v, dir));
         (void)fn();
     }
 

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# check_matrix.sh — configure + build + run the tier-1 suite under the
+# concurrency-correctness matrix:
+#
+#   asan  ASan + UBSan   (-DIGS_SANITIZE=address,undefined, gcc or clang)
+#   tsan  ThreadSanitizer (-DIGS_SANITIZE=thread)
+#   tsa   clang -Wthread-safety as errors (-DIGS_THREAD_SAFETY=ON);
+#         compile-only analysis, then the plain test suite.
+#         Skipped (with a notice) when no clang++ is on PATH — the
+#         annotations compile as no-ops under gcc, so there is nothing
+#         to analyze.
+#   lint  tools/igs_lint.py repo rules + self-test (via ctest -R lint)
+#
+# Usage:  tools/check_matrix.sh [leg ...]     (default: lint asan tsan tsa)
+#
+# Each leg builds in its own tree (build-check-<leg>) with
+# CMAKE_BUILD_TYPE=Debug so IGS_DCHECK and the Spinlock owner assertions
+# are live, and with benches/examples off to keep the matrix fast — the
+# tier-1 *tests* always build and run in full.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+LEGS=("$@")
+if [ ${#LEGS[@]} -eq 0 ]; then
+    LEGS=(lint asan tsan tsa)
+fi
+
+# TSan suppressions: intentionally empty unless a race is provably benign
+# AND documented inline (see DESIGN.md §8). Every entry needs a comment
+# explaining why suppression is sound — prefer fixing with atomics.
+TSAN_SUPP="$ROOT/tools/tsan.supp"
+
+PASSED=()
+FAILED=()
+SKIPPED=()
+
+run_leg() {
+    local leg="$1"; shift
+    local bdir="$ROOT/build-check-$leg"
+    local cmake_extra=("$@")
+    local cc_env=()
+
+    echo "=== [$leg] configure ($bdir) ==="
+    if ! cmake -B "$bdir" -S "$ROOT" \
+            -DCMAKE_BUILD_TYPE=Debug \
+            -DIGS_BUILD_BENCH=OFF -DIGS_BUILD_EXAMPLES=OFF \
+            "${cmake_extra[@]}"; then
+        FAILED+=("$leg (configure)"); return 1
+    fi
+    echo "=== [$leg] build ==="
+    if ! cmake --build "$bdir" -j "$JOBS"; then
+        FAILED+=("$leg (build)"); return 1
+    fi
+    echo "=== [$leg] ctest ==="
+    local env_prefix=()
+    if [ "$leg" = tsan ] && [ -s "$TSAN_SUPP" ]; then
+        env_prefix=(env TSAN_OPTIONS="suppressions=$TSAN_SUPP ${TSAN_OPTIONS:-}")
+    fi
+    if ! (cd "$bdir" && "${env_prefix[@]}" ctest --output-on-failure -j "$JOBS"); then
+        FAILED+=("$leg (ctest)"); return 1
+    fi
+    PASSED+=("$leg")
+}
+
+for leg in "${LEGS[@]}"; do
+    case "$leg" in
+      lint)
+        echo "=== [lint] igs_lint + self-test ==="
+        if python3 "$ROOT/tools/igs_lint.py" --root "$ROOT" &&
+           python3 "$ROOT/tools/igs_lint.py" --root "$ROOT" --self-test; then
+            PASSED+=(lint)
+        else
+            FAILED+=(lint)
+        fi
+        ;;
+      asan)
+        run_leg asan -DIGS_SANITIZE=address,undefined
+        ;;
+      tsan)
+        run_leg tsan -DIGS_SANITIZE=thread
+        ;;
+      tsa)
+        if command -v clang++ >/dev/null 2>&1; then
+            CC=clang CXX=clang++ run_leg tsa -DIGS_THREAD_SAFETY=ON \
+                -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++
+        else
+            echo "=== [tsa] SKIPPED: clang++ not found (annotations are" \
+                 "no-ops under this toolchain) ==="
+            SKIPPED+=(tsa)
+        fi
+        ;;
+      *)
+        echo "unknown leg: $leg (known: lint asan tsan tsa)" >&2
+        FAILED+=("$leg (unknown)")
+        ;;
+    esac
+done
+
+echo
+echo "=== check matrix summary ==="
+[ ${#PASSED[@]} -gt 0 ] && echo "passed:  ${PASSED[*]}"
+[ ${#SKIPPED[@]} -gt 0 ] && echo "skipped: ${SKIPPED[*]}"
+if [ ${#FAILED[@]} -gt 0 ]; then
+    echo "FAILED:  ${FAILED[*]}"
+    exit 1
+fi
+exit 0
