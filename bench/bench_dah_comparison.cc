@@ -17,8 +17,9 @@
 #include "stream/updaters.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    igs::bench::JsonSink json_sink("dah_comparison", argc, argv);
     using namespace igs;
     using bench::Algo;
     using core::UpdatePolicy;

@@ -17,6 +17,7 @@
 int
 main(int argc, char** argv)
 {
+    igs::bench::JsonSink json_sink("fig03_ro_characterization", argc, argv);
     using namespace igs;
     using bench::Algo;
     using core::UpdatePolicy;

@@ -37,8 +37,9 @@ print_distribution(const char* name, const igs::Histogram& h)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    igs::bench::JsonSink json_sink("fig04_degree_distribution", argc, argv);
     using namespace igs;
     bench::banner("Fig 4: batch degree distributions, lj vs wiki @100K",
                   "Fig 4 (log-log N(k); lj max ~30, wiki max ~1881)", "");

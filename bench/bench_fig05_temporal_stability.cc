@@ -10,8 +10,9 @@
 #include "stream/batch.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    igs::bench::JsonSink json_sink("fig05_temporal_stability", argc, argv);
     using namespace igs;
     bench::banner("Fig 5: batch degree mix over time (lj @100K)",
                   "Fig 5 (% of edges from vertices of a given out-degree, "

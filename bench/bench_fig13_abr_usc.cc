@@ -17,6 +17,7 @@
 int
 main(int argc, char** argv)
 {
+    igs::bench::JsonSink json_sink("fig13_abr_usc", argc, argv);
     using namespace igs;
     using bench::Algo;
     using core::UpdatePolicy;

@@ -11,6 +11,7 @@
 int
 main(int argc, char** argv)
 {
+    igs::bench::JsonSink json_sink("fig14_oca", argc, argv);
     using namespace igs;
     using bench::Algo;
     using core::UpdatePolicy;

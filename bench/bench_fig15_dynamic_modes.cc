@@ -12,8 +12,9 @@
 #include "bench_support.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    igs::bench::JsonSink json_sink("fig15_dynamic_modes", argc, argv);
     using namespace igs;
     using bench::Algo;
     using core::UpdatePolicy;

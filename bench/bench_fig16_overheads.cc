@@ -10,8 +10,9 @@
 #include "bench_support.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    igs::bench::JsonSink json_sink("fig16_overheads", argc, argv);
     using namespace igs;
     using bench::Algo;
     using core::UpdatePolicy;

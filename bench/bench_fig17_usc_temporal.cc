@@ -14,8 +14,9 @@
 #include "stream/reorder.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    igs::bench::JsonSink json_sink("fig17_usc_temporal", argc, argv);
     using namespace igs;
     using bench::Algo;
     using core::UpdatePolicy;

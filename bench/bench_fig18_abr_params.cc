@@ -31,8 +31,9 @@ struct LabeledBatch {
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    igs::bench::JsonSink json_sink("fig18_abr_params", argc, argv);
     using bench::Algo;
     using core::UpdatePolicy;
 

@@ -11,8 +11,9 @@
 #include "bench_support.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    igs::bench::JsonSink json_sink("fig19_hau_work", argc, argv);
     using namespace igs;
     using bench::Algo;
     using core::UpdatePolicy;

@@ -13,8 +13,9 @@
 #include "sim/noc.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    igs::bench::JsonSink json_sink("fig20_hau_noc", argc, argv);
     using namespace igs;
     using core::UpdatePolicy;
 

@@ -8,6 +8,7 @@
  */
 #include <benchmark/benchmark.h>
 
+#include "bench_support.h"
 #include "common/concurrent_hash_map.h"
 #include "common/parallel_sort.h"
 #include "common/random.h"
@@ -176,4 +177,17 @@ BENCHMARK(BM_NocSend);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    // The sink strips --json=<path> first — google-benchmark aborts on
+    // flags it does not recognize.
+    igs::bench::JsonSink json_sink("micro_primitives", argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench_support.h"
 #include "common/flat_table.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -72,8 +73,9 @@ emit(std::FILE* json, std::size_t batch_size, const char* mode,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    igs::bench::JsonSink json_sink("micro_reorder", argc, argv);
     std::printf("== micro: batch reordering, comparison vs radix ==\n");
     std::printf("host wall-clock; both modes produce identical output\n\n");
     std::FILE* json = std::fopen("BENCH_reorder.json", "w");

@@ -13,31 +13,62 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analytics/compute_meter.h"
 #include "analytics/pagerank.h"
 #include "analytics/sssp.h"
+#include "common/check.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "common/telemetry.h"
+#include "common/timer.h"
 #include "core/engine.h"
 #include "gen/datasets.h"
 #include "sim/update_runner.h"
 
 namespace igs::bench {
 
-/** Batch-count defaults per batch size, keeping total work laptop-sized. */
+/**
+ * The IGS_BENCH_SCALE multiplier, parsed once per process.  Announces the
+ * effective scale on stderr the first time it is consulted so a scaled run
+ * is never mistaken for a full one.
+ */
+inline double
+bench_scale()
+{
+    static const double scale = [] {
+        double s = 1.0;
+        if (const char* e = std::getenv("IGS_BENCH_SCALE")) {
+            s = std::atof(e);
+            if (s <= 0.0) {
+                std::fprintf(stderr,
+                             "[bench] ignoring invalid IGS_BENCH_SCALE=%s "
+                             "(must be > 0); using 1\n",
+                             e);
+                s = 1.0;
+            } else {
+                std::fprintf(stderr, "[bench] effective IGS_BENCH_SCALE=%g\n",
+                             s);
+            }
+        }
+        return s;
+    }();
+    return scale;
+}
+
+/**
+ * Batch-count defaults per batch size, keeping total work laptop-sized.
+ * Counts never drop below 2 (speedups need at least one post-warmup batch);
+ * a scale small enough to hit that floor is reported once rather than
+ * silently yielding the unscaled minimum.
+ */
 inline std::size_t
 batches_for(std::size_t batch_size)
 {
-    double scale = 1.0;
-    if (const char* s = std::getenv("IGS_BENCH_SCALE")) {
-        scale = std::atof(s);
-        if (scale <= 0.0) {
-            scale = 1.0;
-        }
-    }
     std::size_t n = 4;
     if (batch_size <= 100) {
         n = 20;
@@ -50,8 +81,19 @@ batches_for(std::size_t batch_size)
     } else {
         n = 2;
     }
-    n = static_cast<std::size_t>(static_cast<double>(n) * scale);
-    return n < 2 ? 2 : n;
+    const double scaled = static_cast<double>(n) * bench_scale();
+    if (scaled < 2.0) {
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            std::fprintf(stderr,
+                         "[bench] IGS_BENCH_SCALE=%g clamps some batch "
+                         "counts to the minimum of 2\n",
+                         bench_scale());
+        }
+        return 2;
+    }
+    return static_cast<std::size_t>(scaled);
 }
 
 /** Per-batch record of one stream replay. */
@@ -86,6 +128,178 @@ to_string(Algo a)
     }
     return "?";
 }
+
+/**
+ * Structured metrics exporter behind every bench binary's `--json=<path>`
+ * flag (DESIGN.md §9).  Construct one at the top of main(); the
+ * constructor strips `--json=<path>` from argv (so the bench's own flag
+ * handling like `--quick` is position-independent), every subsequent
+ * @ref run_stream records its replay into the active sink, and the
+ * destructor writes one schema-versioned JSON document: the replayed
+ * per-batch decision/cycle series plus a full telemetry registry
+ * snapshot.  Without `--json` the sink is inert and records nothing.
+ */
+class JsonSink {
+  public:
+    /** Schema version stamped into every document; golden tooling and the
+     *  smoke harness refuse documents with a different major. */
+    static constexpr int kSchemaVersion = 1;
+
+    JsonSink(const char* experiment, int& argc, char** argv)
+        : experiment_(experiment)
+    {
+        IGS_CHECK_MSG(active_slot() == nullptr,
+                      "only one JsonSink per process");
+        for (int i = 1; i < argc;) {
+            if (std::strncmp(argv[i], "--json=", 7) == 0) {
+                path_ = argv[i] + 7;
+                for (int j = i; j + 1 < argc; ++j) {
+                    argv[j] = argv[j + 1];
+                }
+                --argc;
+                argv[argc] = nullptr;
+            } else {
+                ++i;
+            }
+        }
+        active_slot() = this;
+    }
+
+    ~JsonSink()
+    {
+        active_slot() = nullptr;
+        if (path_.empty()) {
+            return;
+        }
+        const std::string doc = serialize();
+        std::FILE* f = std::fopen(path_.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "[bench] cannot write %s\n", path_.c_str());
+            return;
+        }
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "[bench] wrote %s\n", path_.c_str());
+    }
+
+    JsonSink(const JsonSink&) = delete;
+    JsonSink& operator=(const JsonSink&) = delete;
+
+    /** The process's sink, or null (run_stream records through this). */
+    static JsonSink* active() { return active_slot(); }
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Record one replayed stream (called by run_stream). */
+    void
+    record_stream(std::string_view dataset, std::size_t batch_size,
+                  core::UpdatePolicy policy, Algo algo, bool oca,
+                  const core::AbrParams& abr, const StreamResult& result)
+    {
+        if (!enabled()) {
+            return;
+        }
+        streams_.push_back(Stream{std::string(dataset), batch_size, policy,
+                                  algo, oca, abr, result});
+    }
+
+  private:
+    struct Stream {
+        std::string dataset;
+        std::size_t batch_size;
+        core::UpdatePolicy policy;
+        Algo algo;
+        bool oca;
+        core::AbrParams abr;
+        StreamResult result;
+    };
+
+    static JsonSink*&
+    active_slot()
+    {
+        static JsonSink* slot = nullptr;
+        return slot;
+    }
+
+    std::string
+    serialize() const
+    {
+        telemetry::JsonWriter w(2);
+        w.begin_object();
+        w.kv("schema_version", kSchemaVersion);
+        w.kv("experiment", experiment_);
+        w.key("host").begin_object();
+        w.kv("bench_scale", bench_scale());
+        w.kv("wall_seconds", wall_.seconds());
+        w.end_object();
+        w.key("streams").begin_array();
+        for (const Stream& s : streams_) {
+            write_stream(w, s);
+        }
+        w.end_array();
+        // Whole-process registry snapshot (spliced pre-serialized).
+        w.key("telemetry").raw(telemetry::to_json(0));
+        w.end_object();
+        return w.take();
+    }
+
+    static void
+    write_stream(telemetry::JsonWriter& w, const Stream& s)
+    {
+        w.begin_object();
+        w.kv("dataset", s.dataset);
+        w.kv("batch_size", static_cast<std::uint64_t>(s.batch_size));
+        w.kv("policy", core::to_string(s.policy));
+        w.kv("algo", to_string(s.algo));
+        w.kv("oca", s.oca);
+        w.key("abr").begin_object();
+        w.kv("n", s.abr.n);
+        w.kv("lambda", s.abr.lambda);
+        w.kv("threshold", s.abr.threshold);
+        w.end_object();
+        w.kv("num_batches",
+             static_cast<std::uint64_t>(s.result.batches.size()));
+        w.kv("update_cycles", static_cast<std::uint64_t>(s.result.update_cycles));
+        w.kv("compute_cycles",
+             static_cast<std::uint64_t>(s.result.compute_cycles));
+        w.key("batches").begin_array();
+        for (const BatchRecord& rec : s.result.batches) {
+            const core::BatchReport& r = rec.report;
+            w.begin_object();
+            w.kv("id", r.batch_id);
+            w.kv("abr_active", r.abr_active);
+            w.kv("reordered", r.reordered);
+            w.kv("used_usc", r.used_usc);
+            w.kv("used_hau", r.used_hau);
+            // Key always present (null when ABR did not instrument this
+            // batch) so record shapes never vary across batches.
+            if (r.cad.has_value()) {
+                w.kv("cad", r.cad->cad());
+            } else {
+                w.key("cad").null();
+            }
+            w.kv("overlap", r.overlap);
+            w.kv("defer_compute", r.defer_compute);
+            w.kv("instrumentation_cycles", r.instrumentation_cycles);
+            w.kv("update_cycles", static_cast<std::uint64_t>(r.update.cycles));
+            w.kv("lock_wait_cycles", r.update.lock_wait_cycles);
+            w.kv("lock_acquisitions", r.update.lock_acquisitions);
+            w.kv("probes", r.update.probes);
+            w.kv("inserts", r.update.inserts);
+            w.kv("weight_updates", r.update.weight_updates);
+            w.kv("removes", r.update.removes);
+            w.kv("computed", rec.computed);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+
+    std::string experiment_;
+    std::string path_;
+    std::vector<Stream> streams_;
+    Timer wall_;
+};
 
 /**
  * Replay `num_batches` batches of `batch_size` edges of `ds` through an
@@ -134,6 +348,9 @@ run_stream(const gen::DatasetSpec& ds, std::size_t batch_size,
             out.compute_cycles += rec.compute.cycles(ccp);
         }
         out.batches.push_back(std::move(rec));
+    }
+    if (JsonSink* sink = JsonSink::active()) {
+        sink->record_stream(ds.name, batch_size, policy, algo, oca, abr, out);
     }
     return out;
 }

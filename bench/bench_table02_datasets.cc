@@ -6,8 +6,9 @@
 #include "bench_support.h"
 
 int
-main()
+main(int argc, char** argv)
 {
+    igs::bench::JsonSink json_sink("table02_datasets", argc, argv);
     using namespace igs;
     bench::banner("Table 2: Evaluated Datasets",
                   "Table 2 (14 datasets, SNAP/LAW/konect)",

@@ -2,9 +2,94 @@
 
 #include <algorithm>
 
+#include "common/telemetry.h"
 #include "common/timer.h"
 
 namespace igs::core {
+
+namespace {
+
+/** Decision-pipeline telemetry, resolved once (see DESIGN.md §9 naming).
+ *  Shared by both engine frontends; per-batch cost is a handful of
+ *  relaxed atomic increments. */
+struct EngineTelemetry {
+    telemetry::Counter& batches;
+    telemetry::Counter& reordered_batches;
+    telemetry::Counter& usc_batches;
+    telemetry::Counter& hau_batches;
+    telemetry::Counter& baseline_batches;
+    telemetry::Counter& abr_active_batches;
+    telemetry::Counter& abr_reorder_verdicts;
+    telemetry::Counter& oca_probes;
+    telemetry::Counter& oca_deferred_rounds;
+    telemetry::Histogram& cad;
+    telemetry::Histogram& overlap;
+    telemetry::Gauge& instrumentation_cycles;
+    telemetry::PhaseTimer& ingest_wall;
+
+    static EngineTelemetry&
+    get()
+    {
+        // Bucket bounds: CAD in decades around the paper's TH=465;
+        // overlap in tenths of the [0,1] ratio (OCA threshold 0.25).
+        static const double kCadBounds[] = {0.0,    50.0,   100.0,  250.0,
+                                            465.0,  1000.0, 2500.0, 10000.0};
+        static const double kOverlapBounds[] = {0.0, 0.1, 0.2, 0.25, 0.3,
+                                                0.4, 0.5, 0.75, 0.9};
+        auto& r = telemetry::Registry::global();
+        static EngineTelemetry t{
+            r.counter("core.engine.batches"),
+            r.counter("core.engine.reordered_batches"),
+            r.counter("core.engine.usc_batches"),
+            r.counter("core.engine.hau_batches"),
+            r.counter("core.engine.baseline_batches"),
+            r.counter("core.abr.active_batches"),
+            r.counter("core.abr.reorder_verdicts"),
+            r.counter("core.oca.probes"),
+            r.counter("core.oca.deferred_rounds"),
+            r.histogram("core.abr.cad", kCadBounds),
+            r.histogram("core.oca.overlap", kOverlapBounds),
+            r.gauge("core.engine.instrumentation_cycles"),
+            r.phase("core.engine.ingest_wall"),
+        };
+        return t;
+    }
+
+    void
+    record(const BatchReport& report, bool oca_probed)
+    {
+        batches.inc();
+        if (report.reordered) {
+            reordered_batches.inc();
+        } else if (report.used_hau) {
+            hau_batches.inc();
+        } else {
+            baseline_batches.inc();
+        }
+        if (report.used_usc) {
+            usc_batches.inc();
+        }
+        if (report.abr_active) {
+            abr_active_batches.inc();
+        }
+        if (report.reordered) {
+            abr_reorder_verdicts.inc();
+        }
+        if (report.cad.has_value()) {
+            cad.record(report.cad->cad());
+        }
+        if (oca_probed) {
+            oca_probes.inc();
+            overlap.record(report.overlap);
+        }
+        if (report.defer_compute) {
+            oca_deferred_rounds.inc();
+        }
+        instrumentation_cycles.add(report.instrumentation_cycles);
+    }
+};
+
+} // namespace
 
 const char*
 to_string(UpdatePolicy policy)
@@ -183,6 +268,7 @@ drive_batch(detail::DecisionCore& core, const stream::EdgeBatch& batch,
         core.oca().on_batch(d.want_probe ? &probe : nullptr);
     report.overlap = od.overlap;
     report.defer_compute = od.defer_compute;
+    EngineTelemetry::get().record(report, d.want_probe);
     return report;
 }
 
@@ -191,10 +277,11 @@ drive_batch(detail::DecisionCore& core, const stream::EdgeBatch& batch,
 SimEngine::SimEngine(const EngineConfig& config,
                      const sim::MachineParams& machine,
                      const sim::SwCostParams& sw,
-                     const sim::HauCostParams& hw, std::size_t num_vertices)
+                     const sim::HauCostParams& hw, std::size_t num_vertices,
+                     ThreadPool& pool)
     : core_(config), graph_(num_vertices),
       runner_(machine, sw, hw, num_vertices, config.reorder_mode),
-      reorderer_(config.reorder_mode)
+      pool_(pool), reorderer_(config.reorder_mode)
 {
 }
 
@@ -203,7 +290,7 @@ SimEngine::ingest(const stream::EdgeBatch& batch)
 {
     bool reorder = false;
     const stream::ReorderedBatch* rb = reorder_and_reserve(
-        core_, reorderer_, graph_, batch, default_pool(), reorder);
+        core_, reorderer_, graph_, batch, pool_, reorder);
     BatchReport report = drive_batch(
         core_, batch, reorder, rb, /*hau_available=*/true,
         [&](const Dispatch& d, const stream::ReorderedBatch* rb,
@@ -259,6 +346,7 @@ RealTimeEngine::ingest(const stream::EdgeBatch& batch)
             }
         });
     report.wall_seconds = timer.seconds();
+    EngineTelemetry::get().ingest_wall.add(report.wall_seconds);
 
     pending_.add(batch);
     compute_due_ = !report.defer_compute;

@@ -148,9 +148,12 @@ class PendingAccumulator {
  */
 class SimEngine {
   public:
+    /** `pool` runs the *host-side* reorder passes; the modeled Table-1
+     *  cycles are independent of it (see the determinism test in
+     *  tests/test_core.cc: 1 worker and N workers are bit-identical). */
     SimEngine(const EngineConfig& config, const sim::MachineParams& machine,
               const sim::SwCostParams& sw, const sim::HauCostParams& hw,
-              std::size_t num_vertices);
+              std::size_t num_vertices, ThreadPool& pool = default_pool());
 
     /** The evolving graph (index-accelerated; see DESIGN.md). */
     graph::IndexedAdjacency& graph() { return graph_; }
@@ -174,6 +177,7 @@ class SimEngine {
     detail::DecisionCore core_;
     graph::IndexedAdjacency graph_;
     sim::UpdateRunner runner_;
+    ThreadPool& pool_;
     /** Arena-backed reorderer, reused across batches (zero steady-state
      *  allocations on the radix path). */
     stream::Reorderer reorderer_;

@@ -41,6 +41,23 @@ HauSimulator::HauSimulator(const MachineParams& machine,
     }
 }
 
+HauCacheTotals
+HauSimulator::cache_totals() const
+{
+    HauCacheTotals t;
+    for (const CoreCacheHierarchy& cc : core_caches_) {
+        t.l1_hits += cc.l1().hits();
+        t.l1_misses += cc.l1().misses();
+        t.l2_hits += cc.l2().hits();
+        t.l2_misses += cc.l2().misses();
+    }
+    for (const Cache& slice : l3_slices_) {
+        t.l3_hits += slice.hits();
+        t.l3_misses += slice.misses();
+    }
+    return t;
+}
+
 std::uint32_t
 HauSimulator::consumer_of(VertexId v) const
 {

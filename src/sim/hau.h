@@ -63,6 +63,16 @@ struct HauRunStats {
     std::vector<HauCoreStats> per_core;
 };
 
+/** Cumulative hit/miss totals over every HAU cache (telemetry export). */
+struct HauCacheTotals {
+    std::uint64_t l1_hits = 0;
+    std::uint64_t l1_misses = 0;
+    std::uint64_t l2_hits = 0;
+    std::uint64_t l2_misses = 0;
+    std::uint64_t l3_hits = 0;
+    std::uint64_t l3_misses = 0;
+};
+
 /** The HAU engine; owns per-core caches and the NoC for one stream run. */
 class HauSimulator {
   public:
@@ -82,6 +92,9 @@ class HauSimulator {
 
     /** Counterfactual NoC fed only the data traffic (Fig 20 comparison). */
     const NocModel& noc_without_tasks() const { return *noc_data_only_; }
+
+    /** Cumulative hit/miss totals across all private caches + L3 slices. */
+    HauCacheTotals cache_totals() const;
 
     const MachineParams& machine() const { return machine_; }
 

@@ -5,8 +5,36 @@
 
 #include "common/check.h"
 #include "common/parallel_sort.h"
+#include "common/telemetry.h"
 
 namespace igs::stream {
+
+namespace {
+
+/** Reorderer telemetry, resolved once (see DESIGN.md §9 naming). */
+struct ReorderTelemetry {
+    telemetry::Counter& batches;
+    telemetry::Counter& edges;
+    telemetry::Counter& sort_passes;
+    telemetry::Gauge& scratch_edges_watermark;
+    telemetry::Gauge& scratch_hist_watermark;
+
+    static ReorderTelemetry&
+    get()
+    {
+        auto& r = telemetry::Registry::global();
+        static ReorderTelemetry t{
+            r.counter("stream.reorder.batches"),
+            r.counter("stream.reorder.edges"),
+            r.counter("stream.reorder.sort_passes"),
+            r.gauge("stream.reorder.scratch_edges_watermark"),
+            r.gauge("stream.reorder.scratch_hist_watermark"),
+        };
+        return t;
+    }
+};
+
+} // namespace
 
 std::vector<VertexRun>
 build_runs(std::span<const StreamEdge> sorted, Direction key)
@@ -82,14 +110,25 @@ max_vertex_of(std::span<const StreamEdge> edges)
 const ReorderedBatch&
 Reorderer::reorder(std::span<const StreamEdge> edges, ThreadPool& pool)
 {
+    ReorderTelemetry& t = ReorderTelemetry::get();
+    t.batches.inc();
+    t.edges.inc(edges.size());
+    t.sort_passes.inc(2); // one ordering by source, one by destination
     if (mode_ == ReorderMode::kRadix) {
         max_vertex_ = detail::reorder_batch_radix(edges, pool, scratch_);
-        return scratch_.rb;
+    } else {
+        // Comparison path: the paper's two stable sorts into the reused
+        // ReorderedBatch storage (allocation behaviour matches the oracle).
+        scratch_.rb = reorder_batch(edges, pool);
+        max_vertex_ = max_vertex_of(edges);
     }
-    // Comparison path: the paper's two stable sorts into the reused
-    // ReorderedBatch storage (allocation behaviour matches the oracle).
-    scratch_.rb = reorder_batch(edges, pool);
-    max_vertex_ = max_vertex_of(edges);
+    // Arena high-water marks, in elements (DESIGN.md §9: watermark gauges
+    // track steady-state capacity, the arena's zero-allocation guarantee).
+    t.scratch_edges_watermark.watermark(static_cast<double>(
+        scratch_.rb.by_src.edges.capacity() +
+        scratch_.rb.by_dst.edges.capacity() + scratch_.tmp.capacity()));
+    t.scratch_hist_watermark.watermark(static_cast<double>(
+        scratch_.hist.capacity() + scratch_.hist_dst.capacity()));
     return scratch_.rb;
 }
 

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Smoke-run one bench binary: tiny workload, `--json` export, schema check.
+
+Runs the binary with IGS_BENCH_SCALE=0.1 (unless overridden) and
+`--json=<out>`, asserts a zero exit status, and validates the produced
+document against the schema rules shared with tools/golden_check.py.
+Extra arguments after `--` are forwarded to the binary (used to pass
+`--quick` to the wide sweeps and a filter to the google-benchmark runner).
+
+Usage: bench_smoke.py --binary <path> --out <json> [--scale S] [-- args...]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from golden_check import check_schema  # noqa: E402
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--binary", required=True)
+    ap.add_argument("--out", required=True)
+    ap.add_argument("--scale", default="0.1")
+    ap.add_argument("extra", nargs="*", help="forwarded to the binary")
+    args = ap.parse_args()
+
+    env = dict(os.environ)
+    env.setdefault("IGS_BENCH_SCALE", args.scale)
+
+    cmd = [args.binary, f"--json={args.out}"] + args.extra
+    proc = subprocess.run(cmd, env=env)
+    if proc.returncode != 0:
+        print(f"bench_smoke: {cmd} exited {proc.returncode}")
+        return 1
+
+    try:
+        with open(args.out) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_smoke: cannot parse {args.out}: {e}")
+        return 1
+
+    errs = check_schema(doc, os.path.basename(args.binary))
+    for key in ("counters", "gauges", "histograms", "phases"):
+        if not isinstance(doc.get("telemetry", {}).get(key), dict):
+            errs.append(f"telemetry.{key} missing")
+    if errs:
+        print("\n".join(errs))
+        return 1
+
+    print(f"bench_smoke OK: {os.path.basename(args.binary)} "
+          f"({len(doc['streams'])} streams, "
+          f"{len(doc['telemetry']['counters'])} counters)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Golden-run regression checker for the bench `--json` exports.
+
+Compares a candidate metrics document (produced by
+`bench_golden_replay --set=<name> --json=<path>`, or any bench binary)
+against a blessed snapshot in tests/golden/.  The comparison walks both
+documents and applies the first matching rule per dotted path:
+
+  ignore   — field may differ (wall-clock, scratch capacities, phases)
+  exact    — values must be equal after JSON parsing (the default; covers
+             modeled cycles, decision booleans, CAD values, counters)
+  rel:<t>  — doubles must agree within relative tolerance t
+
+Everything the Table-1 timing model produces is deterministic, so the
+default is exact; only host-time-dependent fields are ignored.
+
+Usage:
+  golden_check.py --golden G.json --candidate C.json
+  golden_check.py --golden G.json --binary <bench_golden_replay> --set <s>
+  ... --bless           # overwrite the golden with the candidate
+  golden_check.py --self-test
+"""
+
+import argparse
+import fnmatch
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCHEMA_VERSION = 1
+
+# First match wins; paths are dotted (arrays as [i]).  Metric names keep
+# their internal dots, so prefix globs match them naturally.
+RULES = [
+    ("host.wall_seconds", "ignore"),
+    ("host.bench_scale", "ignore"),  # env-dependent, never affects goldens
+    ("telemetry.phases*", "ignore"),  # wall-clock accumulators
+    ("*wall*", "ignore"),
+    ("*seconds*", "ignore"),
+    ("*watermark*", "ignore"),  # scratch capacities: allocator-dependent
+    ("*", "exact"),
+]
+
+
+def rule_for(path):
+    for pattern, action in RULES:
+        if fnmatch.fnmatch(path, pattern):
+            return action
+    return "exact"
+
+
+def _values_match(action, golden, candidate):
+    if action.startswith("rel:"):
+        tol = float(action[4:])
+        if isinstance(golden, (int, float)) and isinstance(
+            candidate, (int, float)
+        ):
+            scale = max(abs(golden), abs(candidate), 1e-12)
+            return abs(golden - candidate) <= tol * scale
+    return golden == candidate
+
+
+def diff(golden, candidate, path="", out=None):
+    """Collect mismatch descriptions between two parsed JSON values."""
+    if out is None:
+        out = []
+    action = rule_for(path) if path else "exact"
+    if action == "ignore":
+        return out
+    if type(golden) is not type(candidate) and not (
+        isinstance(golden, (int, float))
+        and isinstance(candidate, (int, float))
+        and not isinstance(golden, bool)
+        and not isinstance(candidate, bool)
+    ):
+        out.append(f"{path or '<root>'}: type {type(golden).__name__} vs "
+                   f"{type(candidate).__name__}")
+        return out
+    if isinstance(golden, dict):
+        for k in sorted(set(golden) | set(candidate)):
+            sub = f"{path}.{k}" if path else k
+            if k not in golden:
+                if rule_for(sub) != "ignore":
+                    out.append(f"{sub}: only in candidate")
+            elif k not in candidate:
+                if rule_for(sub) != "ignore":
+                    out.append(f"{sub}: missing from candidate")
+            else:
+                diff(golden[k], candidate[k], sub, out)
+    elif isinstance(golden, list):
+        if len(golden) != len(candidate):
+            out.append(f"{path}: length {len(golden)} vs {len(candidate)}")
+            return out
+        for i, (g, c) in enumerate(zip(golden, candidate)):
+            diff(g, c, f"{path}[{i}]", out)
+    else:
+        if not _values_match(action, golden, candidate):
+            out.append(f"{path}: {golden!r} vs {candidate!r}")
+    return out
+
+
+def check_schema(doc, label):
+    if not isinstance(doc, dict):
+        return [f"{label}: document is not an object"]
+    errs = []
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        errs.append(f"{label}: schema_version "
+                    f"{doc.get('schema_version')!r} != {SCHEMA_VERSION}")
+    for key, typ in (("experiment", str), ("host", dict), ("streams", list),
+                     ("telemetry", dict)):
+        if not isinstance(doc.get(key), typ):
+            errs.append(f"{label}: missing/invalid '{key}'")
+    return errs
+
+
+def run_binary(binary, set_name):
+    fd, path = tempfile.mkstemp(suffix=".json", prefix="golden_")
+    os.close(fd)
+    try:
+        env = dict(os.environ)
+        # Goldens pin their own batch counts; make sure a scaled CI
+        # environment cannot leak into comparisons anyway.
+        env.pop("IGS_BENCH_SCALE", None)
+        subprocess.run(
+            [binary, f"--set={set_name}", f"--json={path}"],
+            check=True,
+            stdout=subprocess.DEVNULL,
+            env=env,
+        )
+        with open(path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(path)
+
+
+def self_test():
+    golden = {
+        "schema_version": 1,
+        "experiment": "x",
+        "host": {"bench_scale": 1.0, "wall_seconds": 1.5},
+        "streams": [{"batches": [{"id": 1, "update_cycles": 100,
+                                  "cad": None}]}],
+        "telemetry": {
+            "counters": {"core.engine.batches": 6},
+            "gauges": {"stream.reorder.scratch_edges_watermark": 4096.0},
+            "phases": {"core.engine.ingest_wall": {"seconds": 0.1}},
+        },
+    }
+    ok = json.loads(json.dumps(golden))
+    ok["host"]["wall_seconds"] = 99.0  # ignored
+    ok["telemetry"]["phases"]["core.engine.ingest_wall"]["seconds"] = 7.0
+    ok["telemetry"]["gauges"]["stream.reorder.scratch_edges_watermark"] = 1.0
+    assert diff(golden, ok) == [], diff(golden, ok)
+
+    bad = json.loads(json.dumps(golden))
+    bad["streams"][0]["batches"][0]["update_cycles"] = 101
+    d = diff(golden, bad)
+    assert d == ["streams[0].batches[0].update_cycles: 100 vs 101"], d
+
+    bad = json.loads(json.dumps(golden))
+    bad["telemetry"]["counters"]["core.engine.batches"] = 7
+    assert len(diff(golden, bad)) == 1
+
+    bad = json.loads(json.dumps(golden))
+    bad["streams"][0]["batches"][0]["cad"] = 465.0  # None -> value flips
+    assert len(diff(golden, bad)) == 1
+
+    bad = json.loads(json.dumps(golden))
+    del bad["streams"][0]["batches"][0]
+    assert diff(golden, bad) == ["streams[0].batches: length 1 vs 0"]
+
+    assert check_schema(golden, "g") == []
+    assert check_schema({"schema_version": 2}, "g") != []
+    print("golden_check self-test: OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--golden", help="blessed snapshot path")
+    ap.add_argument("--candidate", help="candidate JSON to compare")
+    ap.add_argument("--binary", help="bench_golden_replay binary to run")
+    ap.add_argument("--set", dest="set_name", help="golden set name")
+    ap.add_argument("--bless", action="store_true",
+                    help="write the candidate over the golden")
+    ap.add_argument("--max-mismatches", type=int, default=20)
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.golden:
+        ap.error("--golden is required (or --self-test)")
+
+    if args.binary:
+        if not args.set_name:
+            ap.error("--binary requires --set")
+        candidate = run_binary(args.binary, args.set_name)
+    elif args.candidate:
+        with open(args.candidate) as f:
+            candidate = json.load(f)
+    else:
+        ap.error("need --candidate or --binary")
+
+    errs = check_schema(candidate, "candidate")
+    if errs:
+        print("\n".join(errs))
+        return 1
+
+    if args.bless:
+        with open(args.golden, "w") as f:
+            json.dump(candidate, f, indent=2, sort_keys=False)
+            f.write("\n")
+        print(f"blessed {args.golden}")
+        return 0
+
+    with open(args.golden) as f:
+        golden = json.load(f)
+    errs = check_schema(golden, "golden")
+    if errs:
+        print("\n".join(errs))
+        return 1
+
+    mismatches = diff(golden, candidate)
+    if mismatches:
+        shown = mismatches[: args.max_mismatches]
+        print(f"golden mismatch vs {args.golden} "
+              f"({len(mismatches)} fields):")
+        for m in shown:
+            print(f"  {m}")
+        if len(mismatches) > len(shown):
+            print(f"  ... and {len(mismatches) - len(shown)} more")
+        print("If the change is intentional, re-bless with:\n"
+              f"  tools/golden_check.py --golden {args.golden} "
+              "--binary <bench_golden_replay> --set <set> --bless")
+        return 1
+    print(f"golden OK: {args.golden}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
