@@ -46,7 +46,7 @@ main(int argc, char** argv)
                     cfg2.policy = UpdatePolicy::kBaseline;
                     cfg2.oca.enabled = true;
                     cfg2.oca.threshold = threshold;
-                    core::SimEngine engine(cfg2, sim::MachineParams{},
+                    sim::SimEngine engine(cfg2, sim::MachineParams{},
                                            sim::SwCostParams{},
                                            sim::HauCostParams{},
                                            ds.model.num_vertices);

@@ -145,7 +145,7 @@ main(int argc, char** argv)
             core::EngineConfig cfg;
             cfg.policy = UpdatePolicy::kAbrUsc;
             cfg.abr = abr;
-            core::SimEngine engine(cfg, sim::MachineParams{},
+            sim::SimEngine engine(cfg, sim::MachineParams{},
                                    sim::SwCostParams{}, sim::HauCostParams{},
                                    std::max(friendly.model.num_vertices,
                                             adverse.model.num_vertices));
@@ -167,7 +167,7 @@ main(int argc, char** argv)
         auto run_pure = [&](UpdatePolicy policy) {
             core::EngineConfig cfg;
             cfg.policy = policy;
-            core::SimEngine engine(cfg, sim::MachineParams{},
+            sim::SimEngine engine(cfg, sim::MachineParams{},
                                    sim::SwCostParams{}, sim::HauCostParams{},
                                    std::max(friendly.model.num_vertices,
                                             adverse.model.num_vertices));

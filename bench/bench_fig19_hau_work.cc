@@ -27,7 +27,7 @@ main(int argc, char** argv)
 
     core::EngineConfig cfg;
     cfg.policy = UpdatePolicy::kAlwaysHau;
-    core::SimEngine engine(cfg, sim::MachineParams{}, sim::SwCostParams{},
+    sim::SimEngine engine(cfg, sim::MachineParams{}, sim::SwCostParams{},
                            sim::HauCostParams{}, ds.model.num_vertices);
     auto genr = ds.make_generator();
     // Pre-seed stream history so hub adjacency arrays have accumulated

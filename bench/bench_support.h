@@ -28,6 +28,7 @@
 #include "common/timer.h"
 #include "core/engine.h"
 #include "gen/datasets.h"
+#include "sim/sim_engine.h"
 #include "sim/update_runner.h"
 
 namespace igs::bench {
@@ -316,7 +317,7 @@ run_stream(const gen::DatasetSpec& ds, std::size_t batch_size,
     cfg.policy = policy;
     cfg.abr = abr;
     cfg.oca.enabled = oca;
-    core::SimEngine engine(cfg, sim::MachineParams{}, sim::SwCostParams{},
+    sim::SimEngine engine(cfg, sim::MachineParams{}, sim::SwCostParams{},
                            sim::HauCostParams{}, ds.model.num_vertices);
     analytics::IncrementalPageRank pr;
     analytics::IncrementalSssp sssp(0);

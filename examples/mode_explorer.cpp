@@ -14,6 +14,7 @@
 #include "common/table.h"
 #include "core/engine.h"
 #include "gen/datasets.h"
+#include "sim/sim_engine.h"
 
 int
 main(int argc, char** argv)
@@ -45,7 +46,7 @@ main(int argc, char** argv)
     for (UpdatePolicy policy : policies) {
         core::EngineConfig cfg;
         cfg.policy = policy;
-        core::SimEngine engine(cfg, sim::MachineParams{},
+        sim::SimEngine engine(cfg, sim::MachineParams{},
                                sim::SwCostParams{}, sim::HauCostParams{},
                                ds.model.num_vertices);
         auto genr = ds.make_generator();

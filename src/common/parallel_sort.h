@@ -72,13 +72,15 @@ parallel_stable_sort(Iter begin, Iter end, Comp comp, ThreadPool& pool)
                       scratch.begin() + static_cast<std::ptrdiff_t>(hi),
                       begin + static_cast<std::ptrdiff_t>(lo));
         }, 1);
+        // Merge-plan bookkeeping: O(runs) per pass, not per-element, and
+        // only on the comparison-oracle sort path.
         std::vector<std::size_t> next;
-        next.reserve(pairs + 2);
+        next.reserve(pairs + 2); // igs-lint: allow(hot-path-alloc)
         for (std::size_t k = 0; k <= pairs; ++k) {
-            next.push_back(cur[2 * k]);
+            next.push_back(cur[2 * k]); // igs-lint: allow(hot-path-alloc)
         }
         if (runs % 2 == 1) {
-            next.push_back(cur.back());
+            next.push_back(cur.back()); // igs-lint: allow(hot-path-alloc)
         } else {
             next.back() = cur.back();
         }

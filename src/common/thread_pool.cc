@@ -65,6 +65,7 @@ void
 ThreadPool::run(const std::function<void(std::size_t)>& fn)
 {
     {
+        // igs-lint: allow(hot-path-block) -- per-batch fork handshake
         MutexLock lk(mutex_);
         IGS_CHECK_MSG(job_ == nullptr, "ThreadPool::run is not reentrant");
         job_ = &fn;
@@ -74,9 +75,10 @@ ThreadPool::run(const std::function<void(std::size_t)>& fn)
     cv_start_.notify_all();
     fn(0); // caller participates as worker 0
     {
+        // igs-lint: allow(hot-path-block) -- join wait, once per batch
         MutexLock lk(mutex_);
         while (active_ != 0) {
-            cv_done_.wait(lk.native());
+            cv_done_.wait(lk.native()); // igs-lint: allow(hot-path-block)
         }
         job_ = nullptr;
     }

@@ -4,6 +4,7 @@
 
 #include "common/telemetry.h"
 #include "common/timer.h"
+#include "core/ingest.h"
 
 namespace igs::core {
 
@@ -115,6 +116,18 @@ to_string(UpdatePolicy policy)
 
 namespace detail {
 
+void
+record_engine_telemetry(const BatchReport& report, bool oca_probed)
+{
+    EngineTelemetry::get().record(report, oca_probed);
+}
+
+void
+record_ingest_wall(double seconds)
+{
+    EngineTelemetry::get().ingest_wall.add(seconds);
+}
+
 bool
 DecisionCore::policy_uses_abr(UpdatePolicy p)
 {
@@ -160,163 +173,6 @@ PendingAccumulator::take()
 
 } // namespace detail
 
-namespace {
-
-/** Grow a graph to cover every vertex up to `max_v`. */
-template <typename Graph>
-void
-ensure_capacity(Graph& g, VertexId max_v)
-{
-    if (static_cast<std::size_t>(max_v) + 1 > g.num_vertices()) {
-        g.ensure_vertices(static_cast<std::size_t>(max_v) + 1);
-    }
-}
-
-/**
- * Reorder the batch (when the latched decision says so) and make sure the
- * graph covers every vertex it names.  The radix reorderer computes the max
- * vertex id inside its fused histogram pass, so reordered batches pay no
- * separate capacity scan.  Returns the reordering, or null.
- */
-template <typename Graph>
-const stream::ReorderedBatch*
-reorder_and_reserve(detail::DecisionCore& core, stream::Reorderer& reorderer,
-                    Graph& g, const stream::EdgeBatch& batch,
-                    ThreadPool& pool, bool& reorder_out)
-{
-    reorder_out = core.reorder_now(core.config().policy);
-    if (reorder_out) {
-        const stream::ReorderedBatch& rb =
-            reorderer.reorder(batch.edges(), pool);
-        ensure_capacity(g, reorderer.last_max_vertex());
-        return &rb;
-    }
-    ensure_capacity(g, stream::max_vertex_of(batch.edges()));
-    return nullptr;
-}
-
-/**
- * Decision + dispatch shared by both frontends.  Returns the filled
- * report (minus timing) and the chosen parameters via out-params.
- */
-struct Dispatch {
-    bool reorder = false;
-    bool usc = false;
-    bool hau = false;
-    bool want_probe = false;
-};
-
-template <typename RunUpdate>
-BatchReport
-drive_batch(detail::DecisionCore& core, const stream::EdgeBatch& batch,
-            bool reorder, const stream::ReorderedBatch* rb,
-            bool hau_available, RunUpdate&& run_update)
-{
-    const UpdatePolicy policy = core.config().policy;
-    BatchReport report;
-    report.batch_id = batch.id;
-
-    // 1. The caller reordered first if the latched decision said so —
-    //    ABR's cheap instrumentation path reads that reordering's run
-    //    index, and the update path reuses it outright.
-
-    // 2. ABR instrumentation + decision latch for the following batches.
-    if (detail::DecisionCore::policy_uses_abr(policy)) {
-        const AbrDecision ad = core.abr().on_batch(batch.edges(), rb);
-        report.abr_active = ad.active;
-        report.cad = ad.cad;
-        report.instrumentation_cycles += ad.instrumentation_cycles;
-    } else {
-        // Input-oblivious policies still sample locality on every n-th
-        // batch so OCA stays available for the compute phase.
-        report.abr_active =
-            core.abr().params().n == 0
-                ? false
-                : ((batch.id - 1) % core.abr().params().n) == 0;
-    }
-
-    // 3. Update execution mode for this batch.
-    Dispatch d;
-    d.reorder = reorder;
-    d.usc = reorder && (policy == UpdatePolicy::kAlwaysReorderUsc ||
-                        policy == UpdatePolicy::kAbrUsc ||
-                        policy == UpdatePolicy::kAbrUscHau);
-    d.hau = hau_available && !reorder &&
-            (policy == UpdatePolicy::kAlwaysHau ||
-             policy == UpdatePolicy::kAbrUscHau);
-    // OCA samples locality on ABR-active batches; batch 1 has no
-    // predecessor (overlap is necessarily zero), so the first usable
-    // sample is taken on batch 2 instead.
-    d.want_probe = core.oca().params().enabled &&
-                   ((report.abr_active && batch.id > 1) || batch.id == 2);
-
-    report.reordered = d.reorder;
-    report.used_usc = d.usc;
-    report.used_hau = d.hau;
-
-    // 4. Run the update (frontend-specific) with an OCA probe when due.
-    stream::OcaProbe probe;
-    run_update(d, rb, d.want_probe ? &probe : nullptr, report);
-    if (core.oca().params().enabled) {
-        report.instrumentation_cycles +=
-            static_cast<double>(batch.size()) *
-            core.oca().params().instr_cycles_per_edge;
-    }
-
-    // 5. OCA: decide whether to defer this batch's compute round.
-    const OcaDecision od =
-        core.oca().on_batch(d.want_probe ? &probe : nullptr);
-    report.overlap = od.overlap;
-    report.defer_compute = od.defer_compute;
-    EngineTelemetry::get().record(report, d.want_probe);
-    return report;
-}
-
-} // namespace
-
-SimEngine::SimEngine(const EngineConfig& config,
-                     const sim::MachineParams& machine,
-                     const sim::SwCostParams& sw,
-                     const sim::HauCostParams& hw, std::size_t num_vertices,
-                     ThreadPool& pool)
-    : core_(config), graph_(num_vertices),
-      runner_(machine, sw, hw, num_vertices, config.reorder_mode),
-      pool_(pool), reorderer_(config.reorder_mode)
-{
-}
-
-BatchReport
-SimEngine::ingest(const stream::EdgeBatch& batch)
-{
-    bool reorder = false;
-    const stream::ReorderedBatch* rb = reorder_and_reserve(
-        core_, reorderer_, graph_, batch, pool_, reorder);
-    BatchReport report = drive_batch(
-        core_, batch, reorder, rb, /*hau_available=*/true,
-        [&](const Dispatch& d, const stream::ReorderedBatch* rb,
-            stream::OcaProbe* probe, BatchReport& r) {
-            const sim::UpdateMode mode =
-                d.reorder ? (d.usc ? sim::UpdateMode::kReorderedUsc
-                                   : sim::UpdateMode::kReordered)
-                          : (d.hau ? sim::UpdateMode::kHau
-                                   : sim::UpdateMode::kBaseline);
-            r.update = runner_.run(graph_, batch, mode, probe, rb);
-        });
-
-    // Instrumentation work is parallel across the machine's workers; fold
-    // it into the batch's modeled cycles and advance the virtual clocks so
-    // subsequent batches see it.
-    const double instr_parallel =
-        report.instrumentation_cycles /
-        static_cast<double>(runner_.machine().num_cores);
-    runner_.exec().charge_all(instr_parallel);
-    report.update.cycles += static_cast<Cycles>(instr_parallel);
-
-    pending_.add(batch);
-    compute_due_ = !report.defer_compute;
-    return report;
-}
-
 RealTimeEngine::RealTimeEngine(const EngineConfig& config,
                                std::size_t num_vertices, ThreadPool& pool)
     : core_(config), graph_(num_vertices), pool_(pool),
@@ -329,11 +185,11 @@ RealTimeEngine::ingest(const stream::EdgeBatch& batch)
 {
     Timer timer;
     bool reorder = false;
-    const stream::ReorderedBatch* reordered = reorder_and_reserve(
+    const stream::ReorderedBatch* reordered = detail::reorder_and_reserve(
         core_, reorderer_, graph_, batch, pool_, reorder);
-    BatchReport report = drive_batch(
+    BatchReport report = detail::drive_batch(
         core_, batch, reorder, reordered, /*hau_available=*/false,
-        [&](const Dispatch& d, const stream::ReorderedBatch* rb,
+        [&](const detail::Dispatch& d, const stream::ReorderedBatch* rb,
             stream::OcaProbe* probe, BatchReport&) {
             stream::RealContext ctx(pool_, &usc_scratch_);
             if (d.reorder && d.usc) {
@@ -346,9 +202,9 @@ RealTimeEngine::ingest(const stream::EdgeBatch& batch)
             }
         });
     report.wall_seconds = timer.seconds();
-    EngineTelemetry::get().ingest_wall.add(report.wall_seconds);
+    detail::record_ingest_wall(report.wall_seconds);
 
-    pending_.add(batch);
+    pending_.note_batch(batch);
     compute_due_ = !report.defer_compute;
     return report;
 }

@@ -47,6 +47,8 @@ AdjacencyList::apply_insert(VertexId v, Neighbor nbr, Direction dir)
             return r;
         }
     }
+    // Amortized edge-array growth: the streamed insert is itself the
+    // workload being charged.  igs-lint: allow(hot-path-alloc)
     edges.push_back(nbr);
     if (dir == Direction::kOut) {
         num_edges_.fetch_add(1, std::memory_order_relaxed);

@@ -20,6 +20,7 @@ DahEdgeSet::insert(Neighbor nbr)
             return r;
         }
     }
+    // igs-lint: allow(hot-path-alloc) -- amortized neighbor-array growth
     array_.push_back(nbr);
     ++count_;
     if (count_ >= kHashThreshold) {
@@ -180,6 +181,7 @@ DegreeAwareHash::apply_insert(VertexId v, Neighbor nbr, Direction dir)
 {
     IGS_DCHECK(v < out_.size());
     auto& set = dir == Direction::kOut ? out_[v] : in_[v];
+    // igs-lint: allow(hot-path-alloc) -- streamed insert is the workload
     const ApplyResult r = set.insert(nbr);
     if (!r.found && dir == Direction::kOut) {
         num_edges_.fetch_add(1, std::memory_order_relaxed);

@@ -46,6 +46,7 @@ IndexedAdjacency::apply_insert(VertexId v, Neighbor nbr, Direction dir)
     }
     // Modeled scan walks the whole array before appending.
     r.probes = r.len_before;
+    // igs-lint: allow(hot-path-alloc) -- amortized edge-array growth
     edges.push_back(nbr);
     if (dir == Direction::kOut) {
         ++num_edges_;

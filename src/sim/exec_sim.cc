@@ -16,6 +16,7 @@ void
 ExecSim::ensure_lock_keys(std::size_t num_lock_keys)
 {
     if (num_lock_keys > lock_available_.size()) {
+        // igs-lint: allow(hot-path-alloc) -- grow-only lock-key table
         lock_available_.resize(num_lock_keys, 0.0);
     }
 }

@@ -190,6 +190,8 @@ HauSimulator::run_subphase(graph::IndexedAdjacency& g,
             task.probes = r.probes;
             task.found = r.found;
             task.is_delete = is_delete;
+            // Host-side modeling queue: the modeled HAU cost is charged
+            // analytically here.  igs-lint: allow(hot-path-alloc)
             queues[consumer].push_back(task);
         };
 
@@ -292,6 +294,7 @@ HauSimulator::run_batch(graph::IndexedAdjacency& g,
                         stream::OcaProbe* probe)
 {
     HauRunStats stats;
+    // igs-lint: allow(hot-path-alloc) -- per-run stats sizing (host-side)
     stats.per_core.resize(machine_.num_cores);
 
     barrier();

@@ -17,40 +17,14 @@
 #include "common/types.h"
 #include "sim/exec_sim.h"
 #include "sim/machine.h"
+#include "stream/update_stats.h"
 
 namespace igs::sim {
 
-/** Modeled cost and operation counts of one or more update phases. */
-struct UpdateStats {
-    Cycles cycles = 0;
-    double lock_wait_cycles = 0.0;
-    std::uint64_t lock_acquisitions = 0;
-    std::uint64_t probes = 0;
-    std::uint64_t inserts = 0;
-    std::uint64_t weight_updates = 0;
-    std::uint64_t removes = 0;
-    std::uint64_t runs = 0;
-    std::uint64_t sorted_edges = 0;
-    std::uint64_t hash_build_edges = 0;
-    std::uint64_t coalesced_scans = 0;
-
-    UpdateStats&
-    operator+=(const UpdateStats& o)
-    {
-        cycles += o.cycles;
-        lock_wait_cycles += o.lock_wait_cycles;
-        lock_acquisitions += o.lock_acquisitions;
-        probes += o.probes;
-        inserts += o.inserts;
-        weight_updates += o.weight_updates;
-        removes += o.removes;
-        runs += o.runs;
-        sorted_edges += o.sorted_edges;
-        hash_build_edges += o.hash_build_edges;
-        coalesced_scans += o.coalesced_scans;
-        return *this;
-    }
-};
+/** The shared update-phase statistics vocabulary (stream/update_stats.h);
+ *  aliased here so simulator code keeps its historical sim::UpdateStats
+ *  spelling. */
+using stream::UpdateStats;
 
 /** Books kernel work onto a virtual worker schedule. */
 class SimContext {

@@ -1,0 +1,49 @@
+#include "sim/sim_engine.h"
+
+#include "core/ingest.h"
+
+namespace igs::sim {
+
+SimEngine::SimEngine(const core::EngineConfig& config,
+                     const MachineParams& machine, const SwCostParams& sw,
+                     const HauCostParams& hw, std::size_t num_vertices,
+                     ThreadPool& pool)
+    : core_(config), graph_(num_vertices),
+      runner_(machine, sw, hw, num_vertices, config.reorder_mode),
+      pool_(pool), reorderer_(config.reorder_mode)
+{
+}
+
+core::BatchReport
+SimEngine::ingest(const stream::EdgeBatch& batch)
+{
+    namespace cd = core::detail;
+    bool reorder = false;
+    const stream::ReorderedBatch* rb = cd::reorder_and_reserve(
+        core_, reorderer_, graph_, batch, pool_, reorder);
+    core::BatchReport report = cd::drive_batch(
+        core_, batch, reorder, rb, /*hau_available=*/true,
+        [&](const cd::Dispatch& d, const stream::ReorderedBatch* rbi,
+            stream::OcaProbe* probe, core::BatchReport& r) {
+            const UpdateMode mode =
+                d.reorder ? (d.usc ? UpdateMode::kReorderedUsc
+                                   : UpdateMode::kReordered)
+                          : (d.hau ? UpdateMode::kHau : UpdateMode::kBaseline);
+            r.update = runner_.run(graph_, batch, mode, probe, rbi);
+        });
+
+    // Instrumentation work is parallel across the machine's workers; fold
+    // it into the batch's modeled cycles and advance the virtual clocks so
+    // subsequent batches see it.
+    const double instr_parallel =
+        report.instrumentation_cycles /
+        static_cast<double>(runner_.machine().num_cores);
+    runner_.exec().charge_all(instr_parallel);
+    report.update.cycles += static_cast<Cycles>(instr_parallel);
+
+    pending_.note_batch(batch);
+    compute_due_ = !report.defer_compute;
+    return report;
+}
+
+} // namespace igs::sim

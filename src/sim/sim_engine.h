@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Simulation-backed input-aware engine (primary bench/eval frontend).
+ *
+ * SimEngine drives the shared ABR/OCA decision pipeline (core/ingest.h)
+ * with updates executed on the deterministic Table-1 timing model: per
+ * batch, the chosen update path's cycles are booked by sim::UpdateRunner
+ * instead of running on real threads.  It lives in sim/ — above core/ in
+ * the module-layer DAG (tools/layers.toml) — so the portable engine core
+ * never depends on the simulator.
+ */
+#ifndef IGS_SIM_SIM_ENGINE_H
+#define IGS_SIM_SIM_ENGINE_H
+
+#include "core/engine.h"
+#include "graph/indexed_adjacency.h"
+#include "sim/update_runner.h"
+
+namespace igs::sim {
+
+/**
+ * Simulation-backed input-aware engine.  Owns the graph, the timing
+ * model, and the controllers.
+ */
+class SimEngine {
+  public:
+    /** `pool` runs the *host-side* reorder passes; the modeled Table-1
+     *  cycles are independent of it (see the determinism test in
+     *  tests/test_core.cc: 1 worker and N workers are bit-identical). */
+    SimEngine(const core::EngineConfig& config, const MachineParams& machine,
+              const SwCostParams& sw, const HauCostParams& hw,
+              std::size_t num_vertices, ThreadPool& pool = default_pool());
+
+    /** The evolving graph (index-accelerated; see DESIGN.md). */
+    graph::IndexedAdjacency& graph() { return graph_; }
+    const graph::IndexedAdjacency& graph() const { return graph_; }
+
+    /** Ingest one batch; runs ABR/OCA and the chosen update path. */
+    core::BatchReport ingest(const stream::EdgeBatch& batch);
+
+    /** True when a compute round is due (OCA may defer it). */
+    bool compute_due() const { return compute_due_; }
+
+    /** Hand the accumulated modifications to the compute phase. */
+    core::PendingWork take_pending_work() { return pending_.take(); }
+
+    /** The underlying update runner (HAU/NoC inspection in benches). */
+    UpdateRunner& runner() { return runner_; }
+
+    const core::EngineConfig& config() const { return core_.config(); }
+
+  private:
+    core::detail::DecisionCore core_;
+    graph::IndexedAdjacency graph_;
+    UpdateRunner runner_;
+    ThreadPool& pool_;
+    /** Arena-backed reorderer, reused across batches (zero steady-state
+     *  allocations on the radix path). */
+    stream::Reorderer reorderer_;
+    core::detail::PendingAccumulator pending_;
+    bool compute_due_ = false;
+};
+
+} // namespace igs::sim
+
+#endif // IGS_SIM_SIM_ENGINE_H

@@ -55,6 +55,8 @@ build_runs(std::span<const StreamEdge> sorted, Direction key)
         while (j < sorted.size() && key_of(sorted[j]) == v) {
             ++j;
         }
+        // Comparison-oracle path: the paper's baseline reorder allocates,
+        // and the oracle matches it.  igs-lint: allow(hot-path-alloc)
         runs.push_back(VertexRun{v, static_cast<std::uint32_t>(i),
                                  static_cast<std::uint32_t>(j)});
         i = j;

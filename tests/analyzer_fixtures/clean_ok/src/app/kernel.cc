@@ -1,0 +1,18 @@
+// Fixture: clean hot path.  setup_tables is stop-listed (setup-time by
+// contract), the append carries an audited pragma, and bump() is clean.
+#include "base/util.h"
+
+void
+setup_tables(Table& t)
+{
+    t.slots.resize(64);
+}
+
+void
+kernel_main(Table& t)
+{
+    setup_tables(t);
+    // igs-lint: allow(hot-path-alloc) -- amortized growth, audited
+    t.slots.push_back(7);
+    bump(t);
+}

@@ -1,0 +1,11 @@
+// Fixture lower-layer helper; allocation-, lock- and throw-free.
+#ifndef FIXTURE_BASE_UTIL_H
+#define FIXTURE_BASE_UTIL_H
+
+inline void
+bump(Table& t)
+{
+    t.count += 1;
+}
+
+#endif // FIXTURE_BASE_UTIL_H

@@ -1,0 +1,12 @@
+// Fixture: hot_kernel is a declared hot-path root; its own body is
+// clean, so every finding comes from the transitive walk into
+// m/helpers.h.
+#include "m/helpers.h"
+
+void
+hot_kernel(Buffer& buf)
+{
+    helper_append(buf);
+    helper_block(buf);
+    helper_throw(buf);
+}

@@ -1,0 +1,11 @@
+// Fixture: a.h <-> b.h form an include cycle.
+#ifndef FIXTURE_RING_A_H
+#define FIXTURE_RING_A_H
+
+#include "ring/b.h"
+
+struct NodeA {
+    int value;
+};
+
+#endif // FIXTURE_RING_A_H

@@ -1,0 +1,11 @@
+// Fixture: a.h <-> b.h form an include cycle.
+#ifndef FIXTURE_RING_B_H
+#define FIXTURE_RING_B_H
+
+#include "ring/a.h"
+
+struct NodeB {
+    int value;
+};
+
+#endif // FIXTURE_RING_B_H

@@ -1,0 +1,11 @@
+// Fixture upper-layer header; clean on its own.
+#ifndef FIXTURE_CORE_API_H
+#define FIXTURE_CORE_API_H
+
+inline int
+core_answer()
+{
+    return 42;
+}
+
+#endif // FIXTURE_CORE_API_H

@@ -1,0 +1,45 @@
+// Fixture: conflicting lock acquisition orders.  The direct pair
+// (alpha/beta) and the interprocedural pair (gamma/delta, stitched
+// through helper_takes_delta) must each produce a lock-order-cycle.
+
+struct State {
+    int work;
+};
+
+void
+take_alpha_then_beta(State& s)
+{
+    MutexLock la(mu_alpha);
+    MutexLock lb(mu_beta);
+    s.work += 1;
+}
+
+void
+take_beta_then_alpha(State& s)
+{
+    MutexLock lb(mu_beta);
+    MutexLock la(mu_alpha);
+    s.work += 1;
+}
+
+void
+helper_takes_delta(State& s)
+{
+    MutexLock ld(mu_delta);
+    s.work += 1;
+}
+
+void
+take_gamma_then_delta(State& s)
+{
+    MutexLock lg(mu_gamma);
+    helper_takes_delta(s);
+}
+
+void
+take_delta_then_gamma(State& s)
+{
+    MutexLock ld(mu_delta);
+    MutexLock lg(mu_gamma);
+    s.work += 1;
+}

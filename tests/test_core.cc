@@ -15,6 +15,7 @@
 #include "core/engine.h"
 #include "core/oca.h"
 #include "gen/datasets.h"
+#include "sim/sim_engine.h"
 #include "gen/edge_stream.h"
 #include "stream/reorder.h"
 
@@ -241,7 +242,7 @@ class EnginePolicyTest : public ::testing::TestWithParam<UpdatePolicy> {};
 TEST_P(EnginePolicyTest, ProducesBaselineEquivalentState)
 {
     const UpdatePolicy policy = GetParam();
-    SimEngine engine(config_for(policy), sim::MachineParams{},
+    sim::SimEngine engine(config_for(policy), sim::MachineParams{},
                      sim::SwCostParams{}, sim::HauCostParams{}, 2000);
     graph::AdjacencyList reference(2000);
     stream::RealContext ctx;
@@ -266,7 +267,7 @@ TEST(SimEngine, DispatchFlagsMatchPolicy)
 {
     // kAbrUscHau on a low-degree stream: ABR turns reordering off after
     // the first active batch and HAU takes over.
-    SimEngine engine(config_for(UpdatePolicy::kAbrUscHau),
+    sim::SimEngine engine(config_for(UpdatePolicy::kAbrUscHau),
                      sim::MachineParams{}, sim::SwCostParams{},
                      sim::HauCostParams{}, 2000);
     gen::StreamModel m;
@@ -298,7 +299,7 @@ TEST(SimEngine, PendingWorkAccumulatesAcrossDeferredBatches)
     cfg.oca.enabled = true;
     cfg.oca.threshold = 0.0; // always aggregate once measured
     cfg.abr.n = 1;           // probe every batch
-    SimEngine engine(cfg, sim::MachineParams{}, sim::SwCostParams{},
+    sim::SimEngine engine(cfg, sim::MachineParams{}, sim::SwCostParams{},
                      sim::HauCostParams{}, 2000);
     // Batch 1 has no predecessor: OCA cannot measure overlap yet, so its
     // compute round runs immediately.
@@ -328,7 +329,7 @@ TEST(SimEngine, InstrumentationChargedOnActiveBatches)
 {
     EngineConfig cfg = config_for(UpdatePolicy::kAbrUsc);
     cfg.abr.n = 4;
-    SimEngine engine(cfg, sim::MachineParams{}, sim::SwCostParams{},
+    sim::SimEngine engine(cfg, sim::MachineParams{}, sim::SwCostParams{},
                      sim::HauCostParams{}, 2000);
     const auto r1 = engine.ingest(engine_batch(1, 1000, 9));
     EXPECT_TRUE(r1.abr_active);
@@ -361,7 +362,7 @@ TEST(RealTimeEngine, RunsAllPoliciesWithRealThreads)
 
 TEST(Engine, GrowsVertexSpaceOnDemand)
 {
-    SimEngine engine(config_for(UpdatePolicy::kBaseline),
+    sim::SimEngine engine(config_for(UpdatePolicy::kBaseline),
                      sim::MachineParams{}, sim::SwCostParams{},
                      sim::HauCostParams{}, 4);
     stream::EdgeBatch b;
@@ -468,7 +469,7 @@ replay_decisions(ThreadPool& pool)
 {
     EngineConfig cfg = config_for(UpdatePolicy::kAbrUscHau);
     cfg.oca.enabled = true;
-    SimEngine engine(cfg, sim::MachineParams{}, sim::SwCostParams{},
+    sim::SimEngine engine(cfg, sim::MachineParams{}, sim::SwCostParams{},
                      sim::HauCostParams{}, 2000, pool);
     std::vector<std::tuple<Cycles, bool, bool, bool, bool, bool, double>>
         out;

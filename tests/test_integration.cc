@@ -9,13 +9,14 @@
 #include "analytics/pagerank.h"
 #include "analytics/sssp.h"
 #include "core/engine.h"
+#include "sim/sim_engine.h"
 #include "gen/datasets.h"
 
 namespace igs {
 namespace {
 
 using core::EngineConfig;
-using core::SimEngine;
+using sim::SimEngine;
 using core::UpdatePolicy;
 
 /** Drive `batches` batches of `batch_size` from a registry dataset

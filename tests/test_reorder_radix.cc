@@ -19,6 +19,7 @@
 #include "common/flat_table.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
+#include "sim/sim_engine.h"
 #include "gen/edge_stream.h"
 #include "stream/reorder.h"
 
@@ -152,9 +153,9 @@ TEST(ReorderModeSim, ModeledCyclesBitIdenticalAcrossModes)
     core::EngineConfig cmp_cfg = radix_cfg;
     cmp_cfg.reorder_mode = ReorderMode::kComparison;
 
-    core::SimEngine a(radix_cfg, sim::MachineParams{}, sim::SwCostParams{},
+    sim::SimEngine a(radix_cfg, sim::MachineParams{}, sim::SwCostParams{},
                       sim::HauCostParams{}, 400);
-    core::SimEngine b(cmp_cfg, sim::MachineParams{}, sim::SwCostParams{},
+    sim::SimEngine b(cmp_cfg, sim::MachineParams{}, sim::SwCostParams{},
                       sim::HauCostParams{}, 400);
     for (std::uint64_t k = 1; k <= 8; ++k) {
         EdgeBatch batch(k, random_edges(3000, 900 + k, 0.1, 400));
@@ -176,10 +177,10 @@ TEST(FlatWeightTable, AccumulatesAndTakes)
     EXPECT_EQ(t.size(), 2u);
 
     Weight w = 0.0f;
-    EXPECT_TRUE(t.take(7, &w));
+    EXPECT_TRUE(t.drain(7, &w));
     EXPECT_FLOAT_EQ(w, 1.5f);
-    EXPECT_FALSE(t.take(7, &w)); // already taken
-    EXPECT_FALSE(t.take(42, &w)); // never inserted
+    EXPECT_FALSE(t.drain(7, &w)); // already taken
+    EXPECT_FALSE(t.drain(42, &w)); // never inserted
     EXPECT_EQ(t.size(), 1u);
 
     // Remaining entries iterate in insertion order, skipping taken ones.
@@ -199,9 +200,9 @@ TEST(FlatWeightTable, ResetClearsLogically)
     t.reset(2); // new epoch: previous entries must be invisible
     EXPECT_TRUE(t.empty());
     Weight w = 0.0f;
-    EXPECT_FALSE(t.take(3, &w));
+    EXPECT_FALSE(t.drain(3, &w));
     t.add(3, 4.0f);
-    EXPECT_TRUE(t.take(3, &w));
+    EXPECT_TRUE(t.drain(3, &w));
     EXPECT_FLOAT_EQ(w, 4.0f);
 }
 

@@ -10,8 +10,11 @@
 #         annotations compile as no-ops under gcc, so there is nothing
 #         to analyze.
 #   lint  tools/igs_lint.py repo rules + self-test (via ctest -R lint)
+#   analyze  tools/igs_analyzer.py whole-program rules (module-layer DAG,
+#         lock-order cycles, hot-path escapes) + fixture self-test
 #
-# Usage:  tools/check_matrix.sh [leg ...]     (default: lint asan tsan tsa)
+# Usage:  tools/check_matrix.sh [leg ...]
+#         (default: lint analyze asan tsan tsa)
 #
 # Each leg builds in its own tree (build-check-<leg>) with
 # CMAKE_BUILD_TYPE=Debug so IGS_DCHECK and the Spinlock owner assertions
@@ -23,7 +26,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-    LEGS=(lint asan tsan tsa)
+    LEGS=(lint analyze asan tsan tsa)
 fi
 
 # TSan suppressions: intentionally empty unless a race is provably benign
@@ -74,6 +77,17 @@ for leg in "${LEGS[@]}"; do
             FAILED+=(lint)
         fi
         ;;
+      analyze)
+        echo "=== [analyze] igs_analyzer + self-test ==="
+        # No --compile-commands: the analyzer picks up build/ when it is
+        # configured and falls back to a directory walk otherwise.
+        if python3 "$ROOT/tools/igs_analyzer.py" --root "$ROOT" &&
+           python3 "$ROOT/tools/igs_analyzer.py" --root "$ROOT" --self-test; then
+            PASSED+=(analyze)
+        else
+            FAILED+=(analyze)
+        fi
+        ;;
       asan)
         run_leg asan -DIGS_SANITIZE=address,undefined
         ;;
@@ -91,7 +105,7 @@ for leg in "${LEGS[@]}"; do
         fi
         ;;
       *)
-        echo "unknown leg: $leg (known: lint asan tsan tsa)" >&2
+        echo "unknown leg: $leg (known: lint analyze asan tsan tsa)" >&2
         FAILED+=("$leg (unknown)")
         ;;
     esac

@@ -1,0 +1,965 @@
+#!/usr/bin/env python3
+"""igs_analyzer -- whole-program analyzer for the igstream repository.
+
+Where tools/igs_lint.py checks one file at a time, this tool builds
+whole-program views from the translation units listed in
+compile_commands.json (falling back to a directory walk) and enforces
+three cross-file properties:
+
+  layer-inversion     The quoted-include graph must respect the module
+                      DAG declared in tools/layers.toml
+                      (common -> {graph,gen,stream} -> {core,analytics}
+                      -> sim -> {bench,tests,examples,tools}).
+  include-cycle       The quoted-include graph must be acyclic.
+  lock-order-cycle    The lock-order graph -- "lock B acquired while A
+                      is held", stitched across files through the call
+                      graph -- must be acyclic, else two threads taking
+                      the locks in opposite orders can deadlock.
+  hot-path-alloc      Functions reachable from the configured hot-path
+  hot-path-block      roots ([hot_paths] roots in layers.toml) must not
+  hot-path-throw      allocate, take a std:: blocking primitive, or
+                      throw.  igs::Spinlock is deliberately NOT treated
+                      as blocking: busy-wait per-vertex locking is the
+                      paper's baseline update mechanism.
+  stale-suppression   Every `igs-lint: allow(<analyzer rule>)` pragma
+                      must still suppress something (or, for
+                      hot-path-alloc in IGS_HOT_PATH files, still sit on
+                      a matching allocation site, since igs_lint shares
+                      that rule id).
+
+Findings are suppressed by the same audited pragma mechanism as
+igs_lint: `// igs-lint: allow(<rule>)` on the offending or preceding
+line.  The call graph is a deliberate over-approximation (simple-name
+matching against project-defined functions on comment/string-blanked
+text); `[hot_paths] stop` lists setup-time-only functions the
+reachability walk does not descend into.
+
+Usage:
+  tools/igs_analyzer.py [--root DIR] [--compile-commands FILE]
+                        [--layers FILE] [--sarif FILE]
+  tools/igs_analyzer.py --self-test       # run against analyzer_fixtures
+
+Exit status: 0 clean, 1 unsuppressed findings, 2 setup/config error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+import tomllib
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from igs_lint import (  # noqa: E402  (single source of truth for these)
+    ALLOW_PRAGMA,
+    HOT_ALLOC_PATTERNS,
+    HOT_PATH_TAG,
+    INCLUDE_RE,
+    blank_comments_and_strings,
+    is_allowed,
+)
+
+TOOL_NAME = "igs_analyzer"
+SOURCE_EXTS = (".h", ".cc", ".cpp")
+SCAN_DIRS = ("src", "bench", "tests", "examples")
+EXCLUDED_PARTS = ("lint_fixtures", "analyzer_fixtures", "build")
+
+# --- escape-analysis patterns -------------------------------------------
+
+BLOCK_PATTERNS = [
+    (re.compile(r"\bMutexLock\b"),
+     "igs::MutexLock (std::mutex) acquisition"),
+    (re.compile(r"std::(recursive_|timed_|shared_)?mutex\b"),
+     "std::mutex-family primitive"),
+    (re.compile(r"std::(lock_guard|unique_lock|scoped_lock)\b"),
+     "std:: blocking guard"),
+    (re.compile(r"\bcondition_variable(_any)?\b"),
+     "condition variable"),
+    (re.compile(r"\.\s*wait(_for|_until)?\s*\("),
+     "blocking wait()"),
+    (re.compile(r"\bsleep_(for|until)\s*\("),
+     "thread sleep"),
+]
+
+THROW_PATTERN = re.compile(r"\bthrow\b")
+
+# Scoped lock guards recognised by the lock-order analysis.  SpinlockGuard
+# is included here (ordering cycles deadlock spinlocks just as hard as
+# mutexes) even though it is not a *blocking* primitive above.
+GUARD_RE = re.compile(
+    r"\b(?:igs::)?(MutexLock|SpinlockGuard|"
+    r"std::lock_guard|std::unique_lock|std::scoped_lock)\b"
+    r"(?:\s*<[^;>]*>)?\s+\w+\s*\(")
+
+# Identifier (possibly ::-qualified) directly before a '('.
+CALLISH_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*(?:::[A-Za-z_~][\w]*)*)\s*\(")
+
+NOT_A_FUNCTION = frozenset({
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "alignas", "decltype", "noexcept", "static_assert", "constexpr",
+    "consteval", "constinit", "new", "delete", "throw", "else", "do",
+    "case", "default", "defined", "operator", "requires", "template",
+    "using", "typedef", "goto", "and", "or", "not", "assert",
+    "co_await", "co_return", "co_yield", "static_cast", "dynamic_cast",
+    "const_cast", "reinterpret_cast", "explicit", "typename",
+})
+
+ANALYZER_RULES = (
+    "layer-inversion", "include-cycle", "lock-order-cycle",
+    "hot-path-alloc", "hot-path-block", "hot-path-throw",
+    "stale-suppression",
+)
+
+RULE_DESCRIPTIONS = {
+    "layer-inversion":
+        "Quoted include crosses the declared module layering "
+        "(tools/layers.toml) in the wrong direction.",
+    "include-cycle":
+        "The quoted-include graph contains a cycle.",
+    "lock-order-cycle":
+        "Two code paths acquire the same locks in opposite nesting "
+        "orders; concurrent execution can deadlock.",
+    "hot-path-alloc":
+        "A function reachable from a hot-path root allocates.",
+    "hot-path-block":
+        "A function reachable from a hot-path root takes a std:: "
+        "blocking primitive.",
+    "hot-path-throw":
+        "A function reachable from a hot-path root throws.",
+    "stale-suppression":
+        "An 'igs-lint: allow(...)' pragma for an analyzer rule no "
+        "longer suppresses anything.",
+}
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.suppressed = False
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --- source model --------------------------------------------------------
+
+
+class SourceFile:
+    """One parsed file: blanked code, comments, includes, functions."""
+
+    def __init__(self, root, rel):
+        self.rel = rel.replace(os.sep, "/")
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            self.text = f.read()
+        self.code, self.comments = blank_comments_and_strings(self.text)
+        self.raw_lines = self.text.splitlines()
+        self.is_hot_tagged = any(
+            HOT_PATH_TAG.match(l) for l in self.raw_lines)
+        # Cumulative offsets for char-position -> 1-based line mapping.
+        self._line_starts = [0]
+        for i, ch in enumerate(self.code):
+            if ch == "\n":
+                self._line_starts.append(i + 1)
+        self.functions = extract_functions(self)
+
+    def line_of(self, pos):
+        lo, hi = 0, len(self._line_starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._line_starts[mid] <= pos:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1
+
+    @property
+    def module(self):
+        parts = self.rel.split("/")
+        if parts[0] == "src" and len(parts) > 1:
+            return parts[1]
+        return parts[0]
+
+
+class Function:
+    """A function definition: name, body extent, calls, lock events."""
+
+    def __init__(self, source, name, def_pos, body_start, body_end):
+        self.source = source
+        self.name = name                       # simple (unqualified) name
+        self.line = source.line_of(def_pos)
+        self.body_start = body_start           # offset of '{'
+        self.body_end = body_end               # offset past matching '}'
+        self.calls = []                        # (simple_name, pos)
+        self.acquisitions = []                 # (lock_label, pos, scope_end)
+
+    @property
+    def key(self):
+        return f"{self.source.rel}:{self.name}:{self.line}"
+
+    def __repr__(self):
+        return self.key
+
+
+def _match_paren(code, open_pos):
+    """Index just past the ')' matching code[open_pos] == '(', or -1."""
+    depth = 0
+    for i in range(open_pos, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def _match_brace(code, open_pos):
+    """Index just past the '}' matching code[open_pos] == '{', or -1."""
+    depth = 0
+    for i in range(open_pos, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def _body_after_signature(code, close_paren):
+    """Given the position just past a parameter list's ')', return the
+    offset of the body's '{' if this is a function definition, else -1.
+    Skips cv/ref/noexcept qualifiers, attribute-like macros (e.g. the
+    IGS_ACQUIRE(..) thread-safety annotations), trailing return types,
+    and constructor initializer lists."""
+    i = close_paren
+    n = len(code)
+    while i < n:
+        while i < n and code[i].isspace():
+            i += 1
+        if i >= n:
+            return -1
+        c = code[i]
+        if c == "{":
+            return i
+        if c in ";=,)":
+            return -1                          # declaration / call / init
+        if c == ":" and i + 1 < n and code[i + 1] != ":":
+            # Constructor initializer list: scan to the body's '{'.
+            i += 1
+            depth = 0
+            while i < n:
+                c = code[i]
+                if c == "(":
+                    depth += 1
+                elif c == ")":
+                    depth -= 1
+                elif c == ";":
+                    return -1
+                elif c == "{" and depth == 0:
+                    # Disambiguate braced member-init `m{..}` (preceded
+                    # by an identifier char) from the body brace.
+                    j = i - 1
+                    while j >= 0 and code[j].isspace():
+                        j -= 1
+                    if j >= 0 and (code[j].isalnum() or code[j] == "_"):
+                        end = _match_brace(code, i)
+                        if end < 0:
+                            return -1
+                        i = end
+                        continue
+                    return i
+                i += 1
+            return -1
+        if code.startswith("->", i):
+            i += 2
+            continue
+        if c == "&":                           # ref-qualifier
+            i += 1
+            continue
+        m = re.match(r"[A-Za-z_][\w:<>,*&\s]*", code[i:])
+        if m:
+            i += m.end()
+            # Attribute macro / noexcept may carry an argument list.
+            while i < n and code[i].isspace():
+                i += 1
+            if i < n and code[i] == "(":
+                end = _match_paren(code, i)
+                if end < 0:
+                    return -1
+                i = end
+            continue
+        return -1
+    return -1
+
+
+def extract_functions(source):
+    """Find function definitions in blanked code.  Heuristic but tuned to
+    this repository's style; intentionally over-approximate (a spurious
+    'function' only adds call-graph edges, it cannot hide real ones)."""
+    code = source.code
+    functions = []
+    for m in CALLISH_RE.finditer(code):
+        name = m.group(1).split("::")[-1].lstrip("~")
+        if m.group(1).split("::")[0] in NOT_A_FUNCTION or \
+                name in NOT_A_FUNCTION:
+            continue
+        open_paren = m.end() - 1
+        close = _match_paren(code, open_paren)
+        if close < 0:
+            continue
+        body = _body_after_signature(code, close)
+        if body < 0:
+            continue
+        body_end = _match_brace(code, body)
+        if body_end < 0:
+            continue
+        fn = Function(source, name, m.start(1), body, body_end)
+        _scan_body(fn)
+        functions.append(fn)
+    return functions
+
+
+def _scan_body(fn):
+    """Populate a function's call list and scoped lock acquisitions."""
+    code = fn.source.code
+    body = code[fn.body_start:fn.body_end]
+    for m in CALLISH_RE.finditer(body):
+        simple = m.group(1).split("::")[-1].lstrip("~")
+        if simple in NOT_A_FUNCTION:
+            continue
+        fn.calls.append((simple, fn.body_start + m.start(1)))
+    for m in GUARD_RE.finditer(body):
+        open_paren = fn.body_start + m.end() - 1
+        close = _match_paren(code, open_paren)
+        if close < 0:
+            continue
+        label = _lock_label(fn.source, code[open_paren + 1:close - 1])
+        if label is None:
+            continue
+        pos = fn.body_start + m.start()
+        fn.acquisitions.append([label, pos, _scope_end(code, fn, pos)])
+
+
+def _lock_label(source, arg):
+    """Normalize a guard constructor argument to a lock identity.  The
+    label is qualified by the defining file's stem so same-named member
+    locks of unrelated classes (e.g. two `mu_`s) stay distinct, while
+    .h/.cc halves of one class share a node."""
+    arg = arg.split(",")[0].strip().lstrip("&*")
+    arg = re.sub(r"\[[^\]]*\]", "", arg)       # drop index expressions
+    m = re.match(r"[A-Za-z_]\w*(?:(?:\.|->|::)[A-Za-z_]\w*)*", arg)
+    if m is None:
+        return None
+    stem = os.path.basename(source.rel)
+    stem = stem[:stem.rfind(".")] if "." in stem else stem
+    return f"{stem}:{m.group(0)}"
+
+
+def _scope_end(code, fn, pos):
+    """Offset where the scope enclosing `pos` (a guard declaration inside
+    fn's body) closes -- the guard's destruction point."""
+    depth = 0
+    for i in range(pos, fn.body_end):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            if depth == 0:
+                return i
+            depth -= 1
+    return fn.body_end
+
+
+# --- configuration -------------------------------------------------------
+
+
+class Config:
+    def __init__(self, layers, roots, stops):
+        self.layers = layers                   # module -> allowed deps
+        self.roots = roots                     # list of (path, name|'*')
+        self.stops = stops                     # set of simple names
+
+    @staticmethod
+    def load(path):
+        with open(path, "rb") as f:
+            data = tomllib.load(f)
+        layers = {}
+        for module, deps in data.get("layers", {}).items():
+            layers[module] = set(deps)
+        hot = data.get("hot_paths", {})
+        roots = []
+        for spec in hot.get("roots", []):
+            if ":" not in spec:
+                raise ValueError(f"bad hot_paths.roots entry '{spec}' "
+                                 f"(want 'path:function' or 'path:*')")
+            path, name = spec.rsplit(":", 1)
+            roots.append((path, name))
+        return Config(layers, roots, set(hot.get("stop", [])))
+
+
+# --- file discovery ------------------------------------------------------
+
+
+def tu_list_from_compile_commands(root, cc_path):
+    """Relative paths of the TUs a configured build actually compiles."""
+    with open(cc_path, encoding="utf-8") as f:
+        entries = json.load(f)
+    tus = []
+    for entry in entries:
+        path = entry.get("file", "")
+        if not os.path.isabs(path):
+            path = os.path.join(entry.get("directory", root), path)
+        rel = os.path.relpath(os.path.realpath(path),
+                              os.path.realpath(root))
+        if not rel.startswith(".."):
+            tus.append(rel.replace(os.sep, "/"))
+    return sorted(set(tus))
+
+
+def walk_sources(root):
+    files = []
+    for scan in SCAN_DIRS:
+        top = os.path.join(root, scan)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = [d for d in dirnames if d not in EXCLUDED_PARTS
+                           and not d.startswith("build")]
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    files.append(rel.replace(os.sep, "/"))
+    return sorted(files)
+
+
+def resolve_include(root, including_rel, target):
+    """Mirror igs_lint's include-hygiene resolution: src/-rooted first,
+    then sibling-relative.  Returns a root-relative path or None."""
+    cand = os.path.join(root, "src", target)
+    if os.path.exists(cand):
+        return os.path.relpath(cand, root).replace(os.sep, "/")
+    here = os.path.dirname(os.path.join(root, including_rel))
+    cand = os.path.join(here, target)
+    if os.path.exists(cand):
+        return os.path.relpath(cand, root).replace(os.sep, "/")
+    return None
+
+
+# --- the analyzer --------------------------------------------------------
+
+
+class Analyzer:
+    def __init__(self, root, config, tus):
+        self.root = root
+        self.config = config
+        self.findings = []
+        self.sources = {}                      # rel -> SourceFile
+        self.includes = {}                     # rel -> [(target_rel, line)]
+        self._load_closure(tus)
+        self.by_name = {}                      # simple name -> [Function]
+        for sf in self.sources.values():
+            for fn in sf.functions:
+                self.by_name.setdefault(fn.name, []).append(fn)
+
+    # -- loading ---------------------------------------------------------
+
+    def _load_closure(self, tus):
+        pending = list(tus)
+        while pending:
+            rel = pending.pop()
+            if rel in self.sources or \
+                    not os.path.exists(os.path.join(self.root, rel)):
+                continue
+            try:
+                sf = SourceFile(self.root, rel)
+            except (OSError, UnicodeDecodeError) as e:
+                self.findings.append(Finding(rel, 0, "io", str(e)))
+                continue
+            self.sources[rel] = sf
+            edges = []
+            for idx, line in enumerate(sf.raw_lines, start=1):
+                m = INCLUDE_RE.match(line)
+                if m is None or m.group(1) != '"':
+                    continue
+                target = resolve_include(self.root, rel, m.group(2))
+                if target is not None:
+                    edges.append((target, idx))
+                    pending.append(target)
+            self.includes[rel] = edges
+
+    # -- rule: layer-inversion -------------------------------------------
+
+    def check_layers(self):
+        for rel, edges in sorted(self.includes.items()):
+            mod = self.sources[rel].module
+            allowed = self.config.layers.get(mod)
+            for target, line in edges:
+                tmod = self.sources[target].module if target in self.sources \
+                    else target.split("/")[1] if target.startswith("src/") \
+                    else target.split("/")[0]
+                if tmod == mod:
+                    continue
+                if allowed is None:
+                    self.findings.append(Finding(
+                        rel, line, "layer-inversion",
+                        f"module '{mod}' is not declared in "
+                        f"tools/layers.toml [layers]"))
+                    break
+                if "*" in allowed or tmod in allowed:
+                    continue
+                self.findings.append(Finding(
+                    rel, line, "layer-inversion",
+                    f"module '{mod}' may not include from '{tmod}' "
+                    f"(declared deps: {sorted(allowed) or 'none'}; "
+                    f"see tools/layers.toml)"))
+
+    # -- rule: include-cycle ---------------------------------------------
+
+    def check_include_cycles(self):
+        graph = {rel: [t for t, _ in edges if t in self.sources]
+                 for rel, edges in self.includes.items()}
+        for scc in _sccs(graph):
+            cyclic = len(scc) > 1 or scc[0] in graph.get(scc[0], [])
+            if not cyclic:
+                continue
+            head = sorted(scc)[0]
+            line = next((ln for t, ln in self.includes[head] if t in scc),
+                        1)
+            self.findings.append(Finding(
+                head, line, "include-cycle",
+                "include cycle: " + " -> ".join(sorted(scc)) +
+                f" -> {sorted(scc)[0]}"))
+
+    # -- rule: lock-order-cycle ------------------------------------------
+
+    def check_lock_order(self):
+        # Fixpoint: set of locks each function acquires transitively.
+        trans = {fn.key: {a[0] for a in fn.acquisitions}
+                 for sf in self.sources.values() for fn in sf.functions}
+        funcs = [fn for sf in self.sources.values() for fn in sf.functions]
+        changed = True
+        while changed:
+            changed = False
+            for fn in funcs:
+                mine = trans[fn.key]
+                before = len(mine)
+                for callee_name, _pos in fn.calls:
+                    if callee_name in self.config.stops:
+                        continue
+                    for callee in self.by_name.get(callee_name, []):
+                        mine |= trans[callee.key]
+                if len(mine) != before:
+                    changed = True
+        # Ordered edges: lock A held at the site where B is acquired,
+        # either directly in the same scope or through a call made while
+        # A is held.
+        edges = {}                             # (a, b) -> example site
+
+        def add_edge(a, b, sf, pos):
+            if a != b and (a, b) not in edges:
+                edges[(a, b)] = (sf.rel, sf.line_of(pos))
+
+        for fn in funcs:
+            for label, pos, scope_end in fn.acquisitions:
+                for label2, pos2, _ in fn.acquisitions:
+                    if pos < pos2 < scope_end:
+                        add_edge(label, label2, fn.source, pos2)
+                for callee_name, cpos in fn.calls:
+                    if not pos < cpos < scope_end or \
+                            callee_name in self.config.stops:
+                        continue
+                    for callee in self.by_name.get(callee_name, []):
+                        for held in trans[callee.key]:
+                            add_edge(label, held, fn.source, cpos)
+        graph = {}
+        for (a, b) in edges:
+            graph.setdefault(a, []).append(b)
+            graph.setdefault(b, [])
+        for scc in _sccs(graph):
+            if len(scc) < 2:
+                continue
+            cycle = sorted(scc)
+            sites = sorted({edges[e] for e in edges
+                            if e[0] in scc and e[1] in scc})
+            where = "; ".join(f"{p}:{l}" for p, l in sites[:4])
+            self.findings.append(Finding(
+                sites[0][0], sites[0][1], "lock-order-cycle",
+                f"locks {{{', '.join(cycle)}}} are acquired in "
+                f"conflicting nesting orders (sites: {where}) -- "
+                f"concurrent callers can deadlock"))
+
+    # -- rules: hot-path escape analysis ---------------------------------
+
+    def check_hot_paths(self):
+        roots = []
+        for path, name in self.config.roots:
+            sf = self.sources.get(path)
+            if sf is None:
+                self.findings.append(Finding(
+                    path, 0, "hot-path-alloc",
+                    f"hot_paths root file '{path}' not found in the "
+                    f"analyzed closure (fix tools/layers.toml)"))
+                continue
+            matched = [fn for fn in sf.functions
+                       if name == "*" or fn.name == name]
+            if not matched:
+                self.findings.append(Finding(
+                    path, 0, "hot-path-alloc",
+                    f"hot_paths root '{path}:{name}' matches no function "
+                    f"definition (fix tools/layers.toml)"))
+            roots.extend(matched)
+
+        parent = {}                            # key -> (parent Function|None)
+        worklist = []
+        for fn in roots:
+            if fn.key not in parent:
+                parent[fn.key] = None
+                worklist.append(fn)
+        reached = []
+        while worklist:
+            fn = worklist.pop()
+            reached.append(fn)
+            for callee_name, _pos in fn.calls:
+                if callee_name in self.config.stops:
+                    continue
+                for callee in self.by_name.get(callee_name, []):
+                    if not callee.source.rel.startswith("src/"):
+                        continue               # only src/ functions audited
+                    if callee.key not in parent:
+                        parent[callee.key] = fn
+                        worklist.append(callee)
+
+        by_key = {fn.key: fn for sf in self.sources.values()
+                  for fn in sf.functions}
+        seen_lines = set()
+        for fn in reached:
+            if not fn.source.rel.startswith("src/"):
+                continue
+            chain = self._chain(fn, parent, by_key)
+            start = fn.source.line_of(fn.body_start)
+            end = fn.source.line_of(fn.body_end - 1)
+            code_lines = fn.source.code.splitlines()
+            for lineno in range(start, min(end, len(code_lines)) + 1):
+                text = code_lines[lineno - 1]
+                self._scan_line(fn, lineno, text, chain, seen_lines)
+
+    def _scan_line(self, fn, lineno, text, chain, seen_lines):
+        sf = fn.source
+        for pattern, label in HOT_ALLOC_PATTERNS:
+            if pattern.search(text):
+                if (sf.rel, lineno, "hot-path-alloc") not in seen_lines:
+                    seen_lines.add((sf.rel, lineno, "hot-path-alloc"))
+                    self.findings.append(Finding(
+                        sf.rel, lineno, "hot-path-alloc",
+                        f"{label} in '{fn.name}', {chain}"))
+                break
+        for pattern, label in BLOCK_PATTERNS:
+            if pattern.search(text):
+                if (sf.rel, lineno, "hot-path-block") not in seen_lines:
+                    seen_lines.add((sf.rel, lineno, "hot-path-block"))
+                    self.findings.append(Finding(
+                        sf.rel, lineno, "hot-path-block",
+                        f"{label} in '{fn.name}', {chain}"))
+                break
+        if THROW_PATTERN.search(text):
+            if (sf.rel, lineno, "hot-path-throw") not in seen_lines:
+                seen_lines.add((sf.rel, lineno, "hot-path-throw"))
+                self.findings.append(Finding(
+                    sf.rel, lineno, "hot-path-throw",
+                    f"throw in '{fn.name}', {chain}"))
+
+    @staticmethod
+    def _chain(fn, parent, by_key):
+        names = [fn.name]
+        cur = parent.get(fn.key)
+        hops = 0
+        while cur is not None and hops < 12:
+            names.append(cur.name)
+            cur = parent.get(cur.key)
+            hops += 1
+        names.reverse()
+        if len(names) == 1:
+            return f"a hot-path root"
+        return "reachable from hot root via " + " -> ".join(names)
+
+    # -- rule: stale-suppression -----------------------------------------
+
+    def check_stale_suppressions(self, suppressed):
+        """`suppressed` is the set of (rel, line, rule) of findings that an
+        allow() pragma silenced.  A pragma at line P covers lines P and
+        P+1 (igs_lint.is_allowed)."""
+        for rel, sf in sorted(self.sources.items()):
+            for lineno, comment in sorted(sf.comments.items()):
+                for m in ALLOW_PRAGMA.finditer(comment):
+                    rule = m.group(1)
+                    if rule not in ANALYZER_RULES or \
+                            rule == "stale-suppression":
+                        continue
+                    if m.start() > 0 and comment[m.start() - 1] == "`":
+                        continue               # doc prose quoting the syntax
+                    used = any((rel, ln, rule) in suppressed
+                               for ln in (lineno, lineno + 1))
+                    if not used and rule == "hot-path-alloc" and \
+                            sf.is_hot_tagged:
+                        # igs_lint shares this rule id in IGS_HOT_PATH
+                        # files; the pragma stays valid while it still
+                        # sits on an allocation site.
+                        code_lines = sf.code.splitlines()
+                        for ln in (lineno, lineno + 1):
+                            if 1 <= ln <= len(code_lines) and any(
+                                    p.search(code_lines[ln - 1])
+                                    for p, _ in HOT_ALLOC_PATTERNS):
+                                used = True
+                    if not used:
+                        self.findings.append(Finding(
+                            rel, lineno, "stale-suppression",
+                            f"allow({rule}) pragma suppresses nothing -- "
+                            f"remove it or re-audit the site"))
+
+    # -- driver ----------------------------------------------------------
+
+    def run(self):
+        self.check_layers()
+        self.check_include_cycles()
+        self.check_lock_order()
+        self.check_hot_paths()
+        suppressed = set()
+        for f in self.findings:
+            if f.rule == "stale-suppression":
+                continue
+            sf = self.sources.get(f.path)
+            if sf is not None and is_allowed(f.rule, f.line, sf.comments):
+                f.suppressed = True
+                suppressed.add((f.path, f.line, f.rule))
+        self.check_stale_suppressions(suppressed)
+        self.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        return self.findings
+
+
+def _sccs(graph):
+    """Tarjan's strongly connected components, iterative."""
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    result = []
+    counter = [0]
+    for start in sorted(graph):
+        if start in index:
+            continue
+        work = [(start, iter(sorted(graph.get(start, []))))]
+        index[start] = low[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(graph.get(nxt, [])))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent_node = work[-1][0]
+                low[parent_node] = min(low[parent_node], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                result.append(scc)
+    return result
+
+
+# --- output --------------------------------------------------------------
+
+
+def write_sarif(path, findings, root):
+    rules = [{"id": rule,
+              "shortDescription": {"text": RULE_DESCRIPTIONS[rule]}}
+             for rule in ANALYZER_RULES]
+    results = []
+    for f in findings:
+        if f.suppressed:
+            continue
+        results.append({
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path,
+                                         "uriBaseId": "SRCROOT"},
+                    "region": {"startLine": max(f.line, 1)},
+                },
+            }],
+        })
+    doc = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/"
+                   "sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": TOOL_NAME,
+                "informationUri":
+                    "https://example.invalid/igstream/tools/igs_analyzer",
+                "rules": rules,
+            }},
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file://" + root}},
+            "results": results,
+        }],
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+
+# --- self-test -----------------------------------------------------------
+
+# Fixture case directory -> exact {rule: finding count} it must produce.
+SELF_TEST_EXPECTATIONS = {
+    "layer_inversion": {"layer-inversion": 1},
+    "include_cycle": {"include-cycle": 1},
+    "lock_order_cycle": {"lock-order-cycle": 2},
+    "hot_path_escape": {"hot-path-alloc": 1, "hot-path-block": 1,
+                        "hot-path-throw": 1},
+    "stale_suppression": {"stale-suppression": 1},
+    "clean_ok": {},
+}
+
+
+def run_case(case_root):
+    config = Config.load(os.path.join(case_root, "layers.toml"))
+    analyzer = Analyzer(case_root, config, walk_sources(case_root))
+    return analyzer.run()
+
+
+def run_self_test(repo_root):
+    fixture_root = os.path.join(repo_root, "tests", "analyzer_fixtures")
+    if not os.path.isdir(fixture_root):
+        print(f"{TOOL_NAME} self-test: missing {fixture_root}",
+              file=sys.stderr)
+        return 2
+    failures = []
+    cases = sorted(d for d in os.listdir(fixture_root)
+                   if os.path.isdir(os.path.join(fixture_root, d)))
+    for case in cases:
+        if case not in SELF_TEST_EXPECTATIONS:
+            failures.append(f"unexpected fixture case {case} (add it to "
+                            f"SELF_TEST_EXPECTATIONS)")
+            continue
+        findings = run_case(os.path.join(fixture_root, case))
+        got = {}
+        for f in findings:
+            if not f.suppressed:
+                got[f.rule] = got.get(f.rule, 0) + 1
+        expected = SELF_TEST_EXPECTATIONS[case]
+        if got != expected:
+            detail = "; ".join(str(f) for f in findings if not f.suppressed)
+            failures.append(f"{case}: expected {expected}, got {got}"
+                            + (f" ({detail})" if detail else ""))
+    for case in SELF_TEST_EXPECTATIONS:
+        if case not in cases:
+            failures.append(f"fixture case {case} not found")
+    if failures:
+        for f in failures:
+            print(f"{TOOL_NAME} self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"{TOOL_NAME} self-test OK ({len(cases)} cases, "
+          f"{sum(len(v) for v in SELF_TEST_EXPECTATIONS.values())} "
+          f"expectations)")
+    return 0
+
+
+# --- main ----------------------------------------------------------------
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile_commands.json for TU discovery "
+                             "(default: <root>/build/compile_commands.json "
+                             "when present, else a directory walk)")
+    parser.add_argument("--layers", default=None,
+                        help="layer/hot-path config "
+                             "(default: <root>/tools/layers.toml)")
+    parser.add_argument("--sarif", default=None,
+                        help="also write findings as SARIF 2.1.0")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate rules against "
+                             "tests/analyzer_fixtures")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print scan statistics")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(
+        args.root if args.root is not None
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
+
+    if args.self_test:
+        return run_self_test(root)
+
+    layers_path = args.layers or os.path.join(root, "tools", "layers.toml")
+    try:
+        config = Config.load(layers_path)
+    except (OSError, ValueError, tomllib.TOMLDecodeError) as e:
+        print(f"{TOOL_NAME}: cannot load {layers_path}: {e}",
+              file=sys.stderr)
+        return 2
+
+    cc_path = args.compile_commands or \
+        os.path.join(root, "build", "compile_commands.json")
+    if os.path.exists(cc_path):
+        tus = tu_list_from_compile_commands(root, cc_path)
+        mode = f"compile_commands ({cc_path})"
+    else:
+        if args.compile_commands:
+            print(f"{TOOL_NAME}: {cc_path} not found", file=sys.stderr)
+            return 2
+        tus = walk_sources(root)
+        mode = "directory walk (no compile_commands.json found)"
+
+    analyzer = Analyzer(root, config, tus)
+    findings = analyzer.run()
+    unsuppressed = [f for f in findings if not f.suppressed]
+    n_suppressed = len(findings) - len(unsuppressed)
+
+    if args.verbose:
+        n_funcs = sum(len(sf.functions) for sf in analyzer.sources.values())
+        print(f"{TOOL_NAME}: TU discovery via {mode}")
+        print(f"{TOOL_NAME}: {len(analyzer.sources)} files, "
+              f"{n_funcs} functions, {n_suppressed} suppressed finding(s)")
+    for f in unsuppressed:
+        print(f)
+    if args.sarif:
+        write_sarif(args.sarif, findings, root)
+    if unsuppressed:
+        print(f"{TOOL_NAME}: {len(unsuppressed)} unsuppressed finding(s) "
+              f"in {len({f.path for f in unsuppressed})} file(s) "
+              f"({len(analyzer.sources)} analyzed)", file=sys.stderr)
+        return 1
+    print(f"{TOOL_NAME}: OK ({len(analyzer.sources)} files analyzed, "
+          f"{n_suppressed} audited suppression(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

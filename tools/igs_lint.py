@@ -19,9 +19,10 @@ the compiler nor clang's thread-safety analysis can express:
   check-side-effect   IGS_CHECK/IGS_DCHECK/IGS_CHECK_MSG arguments must be
                       side-effect free: IGS_DCHECK compiles out under NDEBUG,
                       so a mutation inside it changes release behaviour.
-  atomic-memory-order In src/sim and src/stream every atomic operation spells
-                      its memory_order explicitly — the implicit seq_cst
-                      default hides the cost and the intent on hot paths.
+  atomic-memory-order In src/common, src/core, src/sim and src/stream every
+                      atomic operation spells its memory_order explicitly —
+                      the implicit seq_cst default hides the cost and the
+                      intent on hot paths.
   header-guard        src/**/*.h guards follow IGS_<PATH>_H canonically.
   include-hygiene     Quoted includes are src-root-relative (or a sibling
                       file); no `..` traversal, no <bits/...> internals.
@@ -42,7 +43,7 @@ import sys
 
 SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
 SOURCE_EXTS = (".h", ".cc")
-EXCLUDED_PARTS = ("lint_fixtures", "build")
+EXCLUDED_PARTS = ("lint_fixtures", "analyzer_fixtures", "build")
 
 HOT_PATH_TAG = re.compile(r"^\s*//\s*IGS_HOT_PATH\s*$")
 ALLOW_PRAGMA = re.compile(r"igs-lint:\s*allow\(([a-z-]+)")
@@ -74,7 +75,7 @@ SIDE_EFFECT_PATTERNS = [
 ATOMIC_OPS = re.compile(
     r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or"
     r"|fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\(")
-ATOMIC_SCOPE = ("src/sim/", "src/stream/")
+ATOMIC_SCOPE = ("src/common/", "src/core/", "src/sim/", "src/stream/")
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 
