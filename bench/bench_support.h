@@ -231,6 +231,13 @@ class JsonSink {
         w.kv("experiment", experiment_);
         w.key("host").begin_object();
         w.kv("bench_scale", bench_scale());
+        // Raw IGS_BENCH_SCALE (null when unset): golden_check.py refuses
+        // to diff documents produced at mismatched effective scales.
+        if (const char* e = std::getenv("IGS_BENCH_SCALE")) {
+            w.kv("bench_scale_env", e);
+        } else {
+            w.key("bench_scale_env").null();
+        }
         w.kv("wall_seconds", wall_.seconds());
         w.end_object();
         w.key("streams").begin_array();

@@ -66,11 +66,26 @@ class ComputeMeter {
     void round() { ++stats_.rounds; }
     void iteration() { ++stats_.iterations; }
 
+    /**
+     * Start a round attributed to snapshot epoch `epoch` (pipeline mode;
+     * see graph/graph_store.h).  `last_epoch` lets tests assert a compute
+     * round ran against the epoch it was handed, not a newer publication.
+     */
+    void
+    round_on(EpochId epoch)
+    {
+        last_epoch_ = epoch;
+        ++stats_.rounds;
+    }
+
+    EpochId last_epoch() const { return last_epoch_; }
+
     const ComputeStats& stats() const { return stats_; }
     void reset() { stats_ = ComputeStats{}; }
 
   private:
     ComputeStats stats_;
+    EpochId last_epoch_ = 0;
 };
 
 } // namespace igs::analytics

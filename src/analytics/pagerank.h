@@ -4,8 +4,11 @@
  * incremental (affected-vertex propagation, the Kineograph/Vora model
  * SAGA-Bench uses).
  *
- * Both operate on any dynamic graph exposing `num_vertices()`,
- * `degree(v, dir)` and `edges(v, dir)` (AdjacencyList / IndexedAdjacency).
+ * Both operate on any store satisfying the graph::GraphReadPath concept —
+ * a live AdjacencyList / IndexedAdjacency, or the pipeline's immutable
+ * SnapshotView.  The concept constraint documents (and enforces) that the
+ * compute phase only touches the read path: an algorithm cannot silently
+ * grow a dependency on mutation while a snapshot is in flight.
  */
 #ifndef IGS_ANALYTICS_PAGERANK_H
 #define IGS_ANALYTICS_PAGERANK_H
@@ -16,6 +19,7 @@
 
 #include "common/types.h"
 #include "analytics/compute_meter.h"
+#include "graph/graph_store.h"
 
 namespace igs::analytics {
 
@@ -31,6 +35,7 @@ struct PageRankParams {
  * per-vertex delta sum falls below tolerance (GAP `pr` semantics).
  */
 template <typename Graph>
+    requires graph::GraphReadPath<Graph>
 std::vector<double>
 static_pagerank(const Graph& g, const PageRankParams& params = {},
                 ComputeMeter* meter = nullptr)
@@ -101,6 +106,7 @@ class IncrementalPageRank {
      * touched by the just-ingested batch(es)).  Returns counted work.
      */
     template <typename Graph>
+        requires graph::GraphReadPath<Graph>
     ComputeStats
     on_batch(const Graph& g, const std::vector<VertexId>& affected,
              ComputeMeter* external_meter = nullptr)

@@ -14,6 +14,7 @@
 #include "analytics/compute_meter.h"
 #include "common/check.h"
 #include "common/types.h"
+#include "graph/graph_store.h"
 
 namespace igs::analytics {
 
@@ -22,6 +23,7 @@ namespace igs::analytics {
  * (correct for non-negative weights; our streams use positive weights).
  */
 template <typename Graph>
+    requires graph::GraphReadPath<Graph>
 std::vector<Weight>
 static_sssp(const Graph& g, VertexId source, ComputeMeter* meter = nullptr)
 {
@@ -92,6 +94,7 @@ class IncrementalSssp {
      * @param deleted    deleted edges
      */
     template <typename Graph>
+        requires graph::GraphReadPath<Graph>
     ComputeStats
     on_batch(const Graph& g, const std::vector<StreamEdge>& inserted,
              const std::vector<StreamEdge>& deleted,

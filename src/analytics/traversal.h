@@ -15,11 +15,13 @@
 #include "analytics/compute_meter.h"
 #include "common/check.h"
 #include "common/types.h"
+#include "graph/graph_store.h"
 
 namespace igs::analytics {
 
 /** BFS hop distances from `source` over out-edges; unreachable = ~0u. */
 template <typename Graph>
+    requires graph::GraphReadPath<Graph>
 std::vector<std::uint32_t>
 bfs_distances(const Graph& g, VertexId source, ComputeMeter* meter = nullptr)
 {
@@ -64,6 +66,7 @@ bfs_distances(const Graph& g, VertexId source, ComputeMeter* meter = nullptr)
  * minimum vertex id in the component).
  */
 template <typename Graph>
+    requires graph::GraphReadPath<Graph>
 std::vector<VertexId>
 connected_components(const Graph& g, ComputeMeter* meter = nullptr)
 {

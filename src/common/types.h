@@ -26,6 +26,12 @@ using EdgeId = std::uint64_t;
 using Weight = float;
 /** Simulated time in core cycles (2.5 GHz reference clock). */
 using Cycles = std::uint64_t;
+/**
+ * Snapshot-epoch token (graph/graph_store.h).  Epoch 0 is "nothing
+ * published yet"; every compute hand-off advances the live store's epoch
+ * and stamps the published snapshot and pending work with the new value.
+ */
+using EpochId = std::uint64_t;
 
 /** Sentinel for "no vertex". */
 inline constexpr VertexId kInvalidVertex =

@@ -1,6 +1,6 @@
 #include "core/engine.h"
 
-#include <algorithm>
+#include <utility>
 
 #include "common/telemetry.h"
 #include "common/timer.h"
@@ -90,6 +90,32 @@ struct EngineTelemetry {
     }
 };
 
+/** Pipeline telemetry (DESIGN.md §11), resolved on first publication.
+ *  Lazy on purpose: engines that never enter pipeline mode must not add
+ *  these metrics to the registry snapshot, or every pre-pipeline golden
+ *  run would grow "only in candidate" keys. */
+struct PipelineTelemetry {
+    telemetry::Counter& epochs;
+    telemetry::Counter& dirty_vertices;
+    telemetry::Counter& copied_edges;
+    telemetry::Counter& stalls;
+    telemetry::PhaseTimer& stall_wall;
+
+    static PipelineTelemetry&
+    get()
+    {
+        auto& r = telemetry::Registry::global();
+        static PipelineTelemetry t{
+            r.counter("core.pipeline.epochs_published"),
+            r.counter("core.pipeline.dirty_vertices_copied"),
+            r.counter("core.pipeline.edges_copied"),
+            r.counter("core.pipeline.backpressure_stalls"),
+            r.phase("core.pipeline.stall_wall"),
+        };
+        return t;
+    }
+};
+
 } // namespace
 
 const char*
@@ -153,24 +179,6 @@ DecisionCore::reorder_now(UpdatePolicy p) const
     return false;
 }
 
-PendingWork
-PendingAccumulator::take()
-{
-    PendingWork w;
-    std::sort(affected_.begin(), affected_.end());
-    affected_.erase(std::unique(affected_.begin(), affected_.end()),
-                    affected_.end());
-    w.affected = std::move(affected_);
-    w.inserted = std::move(inserted_);
-    w.deleted = std::move(deleted_);
-    w.batches = batches_;
-    affected_.clear();
-    inserted_.clear();
-    deleted_.clear();
-    batches_ = 0;
-    return w;
-}
-
 } // namespace detail
 
 RealTimeEngine::RealTimeEngine(const EngineConfig& config,
@@ -178,6 +186,80 @@ RealTimeEngine::RealTimeEngine(const EngineConfig& config,
     : core_(config), graph_(num_vertices), pool_(pool),
       reorderer_(config.reorder_mode)
 {
+}
+
+RealTimeEngine::~RealTimeEngine()
+{
+    join_inflight();
+}
+
+void
+RealTimeEngine::set_compute(ComputeFn fn)
+{
+    join_inflight();
+    compute_fn_ = std::move(fn);
+}
+
+void
+RealTimeEngine::join_inflight()
+{
+    if (!inflight_.joinable()) {
+        return;
+    }
+    const bool stalled = !inflight_done_.load(std::memory_order_acquire);
+    Timer timer;
+    inflight_.join();
+    if (stalled) {
+        const double waited = timer.seconds();
+        pipeline_stats_.backpressure_stalls += 1;
+        pipeline_stats_.stall_seconds += waited;
+        auto& t = PipelineTelemetry::get();
+        t.stalls.inc();
+        t.stall_wall.add(waited);
+    }
+}
+
+void
+RealTimeEngine::publish_epoch()
+{
+    // Backpressure: at depth 2 the previous epoch's round may still be in
+    // flight; publication would mutate the snapshot under it, so wait.
+    join_inflight();
+
+    const EpochId epoch = graph_.advance_epoch();
+    inflight_work_ = pending_.hand_off(epoch);
+    const graph::PublishStats ps =
+        snapshots_.publish(graph_, inflight_work_.affected);
+    pipeline_stats_.epochs_published += 1;
+    pipeline_stats_.dirty_vertices_copied += ps.dirty_vertices;
+    pipeline_stats_.edges_copied += ps.copied_edges;
+    auto& t = PipelineTelemetry::get();
+    t.epochs.inc();
+    t.dirty_vertices.inc(ps.dirty_vertices);
+    t.copied_edges.inc(ps.copied_edges);
+
+    const graph::SnapshotView view = snapshots_.view();
+    if (core_.config().pipeline_depth >= 2) {
+        inflight_done_.store(false, std::memory_order_release);
+        inflight_ = std::thread([this, view]() {
+            compute_fn_(view, inflight_work_);
+            inflight_done_.store(true, std::memory_order_release);
+        });
+    } else {
+        compute_fn_(view, inflight_work_);
+    }
+}
+
+void
+RealTimeEngine::flush_pipeline()
+{
+    if (!compute_fn_) {
+        return;
+    }
+    if (!pending_.empty()) {
+        publish_epoch();
+    }
+    join_inflight();
 }
 
 BatchReport
@@ -206,6 +288,12 @@ RealTimeEngine::ingest(const stream::EdgeBatch& batch)
 
     pending_.note_batch(batch);
     compute_due_ = !report.defer_compute;
+    // Pipeline mode: the engine schedules the compute round itself.  The
+    // report was fully assembled above, so depth-1 output stays
+    // byte-identical to the non-pipelined engine.
+    if (compute_fn_ && compute_due_) {
+        publish_epoch();
+    }
     return report;
 }
 

@@ -22,14 +22,19 @@
 #ifndef IGS_CORE_ENGINE_H
 #define IGS_CORE_ENGINE_H
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "core/abr.h"
 #include "core/oca.h"
 #include "graph/adjacency_list.h"
+#include "graph/snapshot_view.h"
 #include "stream/batch.h"
+#include "stream/pending.h"
 #include "stream/update_context.h"
 #include "stream/update_stats.h"
 #include "stream/updaters.h"
@@ -57,6 +62,16 @@ struct EngineConfig {
     /** Host algorithm producing reordered batches (identical output; the
      *  simulator charges the paper's sort cost either way). */
     stream::ReorderMode reorder_mode = stream::ReorderMode::kRadix;
+    /**
+     * Pipeline depth (DESIGN.md §11).  1 = serial: each due compute round
+     * runs inline inside `ingest` — behavior and output byte-identical to
+     * the pre-pipeline engine.  2 = one epoch of ingest-ahead: the compute
+     * round for epoch k runs on its SnapshotView while the next batch's
+     * update runs on the live graph; the next publication joins it first
+     * (backpressure), so memory stays flat at one snapshot + one pending
+     * hand-off.  Only consulted when a compute callback is registered.
+     */
+    unsigned pipeline_depth = 1;
 };
 
 /** Everything the engine did with one batch. */
@@ -74,20 +89,16 @@ struct BatchReport {
     /** Modeled update statistics (sim::SimEngine; zero for
      *  RealTimeEngine). */
     stream::UpdateStats update;
+    /** Modeled update cycles hidden under the previous epoch's compute
+     *  round (sim::SimEngine at pipeline depth >= 2; zero otherwise —
+     *  never serialized into the shared golden stream schema). */
+    Cycles update_hidden_cycles = 0;
     /** Wall-clock update seconds (RealTimeEngine; zero for SimEngine). */
     double wall_seconds = 0.0;
 };
 
-/** Batch-span work handed to the compute phase. */
-struct PendingWork {
-    /** Unique vertices touched since the last compute round. */
-    std::vector<VertexId> affected;
-    /** Edge modifications since the last compute round. */
-    std::vector<StreamEdge> inserted;
-    std::vector<StreamEdge> deleted;
-    /** How many batches this round aggregates (1 normally, 2 under OCA). */
-    std::uint32_t batches = 0;
-};
+/** Batch-span work handed to the compute phase (stream/pending.h). */
+using PendingWork = stream::PendingWork;
 
 namespace detail {
 
@@ -114,55 +125,58 @@ class DecisionCore {
     OcaController oca_;
 };
 
-/** Accumulates compute-phase work across (possibly aggregated) batches.
- *  Named note_batch (not add) so the whole-program analyzer's simple-name
- *  call graph keeps it distinct from the hot-path add() entry points. */
-class PendingAccumulator {
-  public:
-    void
-    note_batch(const stream::EdgeBatch& batch)
-    {
-        for (const StreamEdge& e : batch.edges()) {
-            affected_.push_back(e.src);
-            affected_.push_back(e.dst);
-            if (e.is_delete) {
-                deleted_.push_back(e);
-            } else {
-                inserted_.push_back(e);
-            }
-        }
-        ++batches_;
-    }
-
-    PendingWork take();
-    std::uint32_t pending_batches() const { return batches_; }
-
-  private:
-    std::vector<VertexId> affected_;
-    std::vector<StreamEdge> inserted_;
-    std::vector<StreamEdge> deleted_;
-    std::uint32_t batches_ = 0;
-};
+/** Batch-to-compute accumulation now lives in stream/pending.h; the alias
+ *  keeps the two engine frontends' member declarations unchanged. */
+using PendingAccumulator = stream::PendingAccumulator;
 
 } // namespace detail
+
+/** Counters for the update/compute pipeline (see DESIGN.md §11). */
+struct PipelineStats {
+    /** Snapshot publications (== compute rounds scheduled). */
+    std::uint64_t epochs_published = 0;
+    /** Dirty vertices recopied across all publications. */
+    std::uint64_t dirty_vertices_copied = 0;
+    /** Directed edge entries recopied across all publications. */
+    std::uint64_t edges_copied = 0;
+    /** Publications that had to wait for the in-flight compute round. */
+    std::uint64_t backpressure_stalls = 0;
+    /** Wall seconds spent in those waits. */
+    double stall_seconds = 0.0;
+};
 
 /**
  * Real-host input-aware engine: actual threads, actual locks.  Timing is
  * wall-clock; HAU is unavailable (hardware) so kAbrUscHau and kAlwaysHau
  * degrade to their software equivalents.
  *
- * Threading contract (see DESIGN.md §8): `ingest` is externally
+ * Threading contract (see DESIGN.md §8, §11): `ingest` is externally
  * serialized — one batch in flight at a time.  Parallelism happens *inside*
  * an ingest, where the update kernels synchronize via the graph's
  * per-vertex SpinlockArray (baseline path) or run-ownership (reordered
  * paths, lock-free by construction).  The engine's own members
  * (reorderer_, usc_scratch_, pending_) are only touched from the ingest
  * caller or from per-worker slots, so they need no locks of their own.
+ *
+ * Pipeline mode: register a compute round via `set_compute`.  When a
+ * round is due (OCA permitting), `ingest` publishes a snapshot epoch and
+ * runs the callback — inline at pipeline_depth 1, or on a dedicated
+ * compute thread at depth >= 2 so the next batch's update overlaps it.
+ * The compute thread touches only the immutable SnapshotView and its own
+ * PendingWork; the ingest thread joins it before the next publication
+ * (bounded one-epoch ingest-ahead = backpressure).  Without a registered
+ * callback the engine behaves exactly as before: callers poll
+ * `compute_due` and drain `take_pending_work` themselves.
  */
 class RealTimeEngine {
   public:
+    /** Compute round: runs against epoch `work.epoch`'s snapshot. */
+    using ComputeFn =
+        std::function<void(const graph::SnapshotView&, const PendingWork&)>;
+
     RealTimeEngine(const EngineConfig& config, std::size_t num_vertices,
                    ThreadPool& pool = default_pool());
+    ~RealTimeEngine();
 
     graph::AdjacencyList& graph() { return graph_; }
     const graph::AdjacencyList& graph() const { return graph_; }
@@ -172,9 +186,31 @@ class RealTimeEngine {
     bool compute_due() const { return compute_due_; }
     PendingWork take_pending_work() { return pending_.take(); }
 
+    /**
+     * Enter pipeline mode: `fn` becomes the compute round scheduled at
+     * each epoch publication.  Call before the first `ingest`; replacing
+     * the callback mid-stream first joins any in-flight round.
+     */
+    void set_compute(ComputeFn fn);
+
+    /**
+     * Flush the pipeline: publish any still-pending work as a final epoch
+     * (e.g. an OCA-deferred tail), run its compute round, and join.  Safe
+     * to call repeatedly; a no-op outside pipeline mode.
+     */
+    void flush_pipeline();
+
+    /** Snapshot of the latest published epoch (pipeline mode). */
+    graph::SnapshotView snapshot() const { return snapshots_.view(); }
+
+    const PipelineStats& pipeline_stats() const { return pipeline_stats_; }
+
     const EngineConfig& config() const { return core_.config(); }
 
   private:
+    void publish_epoch();
+    void join_inflight();
+
     detail::DecisionCore core_;
     graph::AdjacencyList graph_;
     ThreadPool& pool_;
@@ -184,6 +220,18 @@ class RealTimeEngine {
     stream::UscScratch usc_scratch_;
     detail::PendingAccumulator pending_;
     bool compute_due_ = false;
+
+    // --- pipeline state (only active once set_compute was called) -------
+    ComputeFn compute_fn_;
+    graph::SnapshotStore snapshots_;
+    /** Work for the in-flight round; owned by the compute thread while
+     *  inflight_ is joinable, reclaimed by the ingest thread after join. */
+    PendingWork inflight_work_;
+    std::thread inflight_;
+    /** Set by the compute thread on completion; lets stall accounting
+     *  distinguish a blocking join from reaping a finished round. */
+    std::atomic<bool> inflight_done_{false};
+    PipelineStats pipeline_stats_;
 };
 
 } // namespace igs::core

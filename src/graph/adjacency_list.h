@@ -48,16 +48,31 @@ class AdjacencyList {
     /** Create a graph over vertices [0, num_vertices). */
     explicit AdjacencyList(std::size_t num_vertices = 0);
 
-    /** Movable (single-threaded only — not during a parallel update). */
+    /**
+     * Movable (single-threaded only — not during a parallel update).
+     * The moved-from graph is left empty and reusable: `num_edges_` is
+     * transferred with an exchange so the source reads 0 afterwards, and
+     * its `latest_bid` bookkeeping is cleared to match the stolen array.
+     */
     AdjacencyList(AdjacencyList&& other) noexcept
         : out_(std::move(other.out_)), in_(std::move(other.in_)),
           out_locks_(std::move(other.out_locks_)),
           in_locks_(std::move(other.in_locks_)),
           latest_bid_(std::move(other.latest_bid_)),
           latest_bid_size_(other.latest_bid_size_),
-          num_edges_(other.num_edges_.load(std::memory_order_relaxed))
+          epoch_(other.epoch_),
+          num_edges_(other.num_edges_.exchange(0, std::memory_order_relaxed))
     {
+        other.latest_bid_size_ = 0;
+        other.epoch_ = 0;
     }
+
+    /**
+     * Move-assignment is deliberately deleted: the implicit version was
+     * never generated (the atomic member suppresses it), so `a = move(b)`
+     * silently failed to compile — make the contract explicit.
+     */
+    AdjacencyList& operator=(AdjacencyList&&) = delete;
 
     /** Number of vertex slots. */
     std::size_t num_vertices() const { return out_.size(); }
@@ -143,6 +158,17 @@ class AdjacencyList {
         return latest_bid_[v].exchange(bid, std::memory_order_relaxed);
     }
 
+    /**
+     * Epoch token (graph/graph_store.h).  Counts compute hand-offs: the
+     * engine bumps it via `advance_epoch()` each time it publishes a
+     * snapshot.  Plain (non-atomic) — publication happens on the ingest
+     * thread between batches, never concurrently with an update phase.
+     */
+    EpochId epoch() const { return epoch_; }
+
+    /** Advance to the next epoch and return the new token. */
+    EpochId advance_epoch() { return ++epoch_; }
+
     /** Sorted copy of an edge array (test/diff helper). */
     std::vector<Neighbor> sorted_edges(VertexId v, Direction dir) const;
 
@@ -156,6 +182,7 @@ class AdjacencyList {
     SpinlockArray in_locks_;
     std::unique_ptr<std::atomic<std::uint64_t>[]> latest_bid_;
     std::size_t latest_bid_size_ = 0;
+    EpochId epoch_ = 0;
     std::atomic<EdgeId> num_edges_{0};
 };
 

@@ -78,6 +78,11 @@ class IndexedAdjacency {
         return latest_bid_[v].exchange(bid, std::memory_order_relaxed);
     }
 
+    /** Epoch token (graph/graph_store.h); same contract as
+     *  AdjacencyList::epoch — advanced by the engine at publication. */
+    EpochId epoch() const { return epoch_; }
+    EpochId advance_epoch() { return ++epoch_; }
+
     /** Order-insensitive structural equality against an AdjacencyList. */
     bool same_topology(const AdjacencyList& other) const;
 
@@ -95,6 +100,7 @@ class IndexedAdjacency {
     std::unordered_map<std::uint64_t, std::uint32_t> in_index_;
     std::unique_ptr<std::atomic<std::uint64_t>[]> latest_bid_;
     std::size_t latest_bid_size_ = 0;
+    EpochId epoch_ = 0;
     EdgeId num_edges_ = 0;
 };
 

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Immutable snapshot of a live graph, maintained by copy-on-publish.
+ *
+ * The pipeline (DESIGN.md §11) computes on epoch k's @ref SnapshotView
+ * while the live store ingests batch k+1.  To keep publication cheap the
+ * @ref SnapshotStore never copies the whole graph in steady state: the
+ * engine hands it the dirty-vertex set accumulated since the previous
+ * publication (stream::PendingWork::affected — every src/dst of every
+ * batch edge, deduplicated) and only those vertices' edge arrays are
+ * recopied.  Per-vertex copies use vector::assign, which reuses the
+ * destination's capacity, so a warmed-up snapshot allocates only when a
+ * vertex's degree outgrows its previous high-water mark or when the
+ * vertex space itself grows.
+ *
+ * Thread contract: `publish` mutates the store and must never run
+ * concurrently with readers of an outstanding @ref SnapshotView.  The
+ * engine guarantees this by joining the in-flight compute round before
+ * every publication (the same join implements backpressure — ingest can
+ * run at most one epoch ahead of compute).
+ */
+#ifndef IGS_GRAPH_SNAPSHOT_VIEW_H
+#define IGS_GRAPH_SNAPSHOT_VIEW_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "graph/graph_store.h"
+
+namespace igs::graph {
+
+/** What one epoch publication cost (drives pipeline telemetry). */
+struct PublishStats {
+    /** Epoch stamped on the refreshed snapshot. */
+    EpochId epoch = 0;
+    /** Dirty vertices whose edge arrays were recopied. */
+    std::size_t dirty_vertices = 0;
+    /** Directed edge entries copied (out + in). */
+    EdgeId copied_edges = 0;
+    /** Vertex slots added because the live graph grew. */
+    std::size_t grown_vertices = 0;
+};
+
+class SnapshotStore;
+
+/**
+ * Read-only view of the most recent publication.  Cheap to copy (two
+ * pointers + counters); valid until the owning SnapshotStore's next
+ * `publish` or destruction.  Satisfies graph::GraphStore.
+ */
+class SnapshotView {
+  public:
+    SnapshotView() = default;
+
+    std::size_t num_vertices() const { return out_ ? out_->size() : 0; }
+    EdgeId num_edges() const { return num_edges_; }
+    /** Epoch this view was published at (0 = default-constructed/empty). */
+    EpochId epoch() const { return epoch_; }
+
+    std::uint32_t
+    degree(VertexId v, Direction dir) const
+    {
+        return static_cast<std::uint32_t>(edges(v, dir).size());
+    }
+
+    const std::vector<Neighbor>&
+    edges(VertexId v, Direction dir) const
+    {
+        const auto* arrays = dir == Direction::kOut ? out_ : in_;
+        IGS_DCHECK(arrays != nullptr && v < arrays->size());
+        return (*arrays)[v];
+    }
+
+  private:
+    friend class SnapshotStore;
+    SnapshotView(const std::vector<std::vector<Neighbor>>* out,
+                 const std::vector<std::vector<Neighbor>>* in,
+                 EdgeId num_edges, EpochId epoch)
+        : out_(out), in_(in), num_edges_(num_edges), epoch_(epoch)
+    {
+    }
+
+    const std::vector<std::vector<Neighbor>>* out_ = nullptr;
+    const std::vector<std::vector<Neighbor>>* in_ = nullptr;
+    EdgeId num_edges_ = 0;
+    EpochId epoch_ = 0;
+};
+
+/**
+ * Owns the snapshot arrays and refreshes them incrementally at each epoch
+ * publication.  One store per engine; `view()` hands the compute thread a
+ * stable read surface for the epoch.
+ */
+class SnapshotStore {
+  public:
+    /**
+     * Refresh the snapshot from `live`, recopying only `dirty` vertices
+     * (ids may exceed the live vertex space if the stream referenced them
+     * before growth — such ids are clamped out).  `dirty` must be
+     * deduplicated and must cover every vertex whose edge arrays changed
+     * since the previous publish; stream::PendingAccumulator::hand_off
+     * provides exactly that.  On the first publication (epoch_ == 0) the
+     * whole live graph is copied regardless of `dirty`, so a store can
+     * attach to a pre-loaded graph.
+     */
+    template <typename Live>
+        requires GraphStore<Live>
+    PublishStats
+    publish(const Live& live, std::span<const VertexId> dirty)
+    {
+        PublishStats stats;
+        const std::size_t n = live.num_vertices();
+        const bool first = epoch_ == 0;
+        if (n > out_.size()) {
+            stats.grown_vertices = n - out_.size();
+            // Vertex-space growth is rare (between batches) and the whole
+            // point of publication.  igs-lint: allow(hot-path-alloc)
+            out_.resize(n);
+            // igs-lint: allow(hot-path-alloc)
+            in_.resize(n);
+        }
+        if (first) {
+            for (VertexId v = 0; v < n; ++v) {
+                stats.copied_edges += copy_vertex(live, v);
+            }
+            stats.dirty_vertices = n;
+        } else {
+            for (VertexId v : dirty) {
+                if (v >= n) {
+                    continue;
+                }
+                stats.copied_edges += copy_vertex(live, v);
+            }
+            stats.dirty_vertices = dirty.size();
+        }
+        num_edges_ = live.num_edges();
+        epoch_ = live.epoch();
+        stats.epoch = epoch_;
+        return stats;
+    }
+
+    /** View of the latest publication (epoch 0 until first publish). */
+    SnapshotView view() const { return {&out_, &in_, num_edges_, epoch_}; }
+
+    EpochId epoch() const { return epoch_; }
+
+  private:
+    template <typename Live>
+    EdgeId
+    copy_vertex(const Live& live, VertexId v)
+    {
+        // vector::assign reuses the destination's capacity: steady-state
+        // republication of a stable-degree vertex performs no allocation.
+        const auto& lo = live.edges(v, Direction::kOut);
+        out_[v].assign(lo.begin(), lo.end());
+        const auto& li = live.edges(v, Direction::kIn);
+        in_[v].assign(li.begin(), li.end());
+        return static_cast<EdgeId>(lo.size() + li.size());
+    }
+
+    std::vector<std::vector<Neighbor>> out_;
+    std::vector<std::vector<Neighbor>> in_;
+    EdgeId num_edges_ = 0;
+    EpochId epoch_ = 0;
+};
+
+} // namespace igs::graph
+
+#endif // IGS_GRAPH_SNAPSHOT_VIEW_H

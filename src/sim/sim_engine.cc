@@ -1,8 +1,34 @@
 #include "sim/sim_engine.h"
 
+#include <algorithm>
+
+#include "common/telemetry.h"
 #include "core/ingest.h"
 
 namespace igs::sim {
+
+namespace {
+
+/** Modeled-overlap telemetry.  Lazy for the same reason as the core
+ *  pipeline counters: registering only on pipelined runs keeps the
+ *  registry snapshot — and therefore every pre-pipeline golden — stable. */
+struct OverlapTelemetry {
+    telemetry::Counter& hidden_cycles;
+    telemetry::Counter& overlapped_batches;
+
+    static OverlapTelemetry&
+    get()
+    {
+        auto& r = telemetry::Registry::global();
+        static OverlapTelemetry t{
+            r.counter("sim.pipeline.hidden_cycles"),
+            r.counter("sim.pipeline.overlapped_batches"),
+        };
+        return t;
+    }
+};
+
+} // namespace
 
 SimEngine::SimEngine(const core::EngineConfig& config,
                      const MachineParams& machine, const SwCostParams& sw,
@@ -41,9 +67,33 @@ SimEngine::ingest(const stream::EdgeBatch& batch)
     runner_.exec().charge_all(instr_parallel);
     report.update.cycles += static_cast<Cycles>(instr_parallel);
 
+    // Pipeline overlap model: while the previously launched compute round
+    // still has cycles left on the compute half of the machine, this
+    // batch's update runs concurrently with it — its cycles are "hidden"
+    // up to the remaining budget.  The reported update cycles themselves
+    // stay untouched (golden schema stability); consumers subtract
+    // update_hidden_cycles to get the pipeline's critical-path cost.
+    if (overlap_budget_ > 0) {
+        const Cycles hidden =
+            std::min<Cycles>(report.update.cycles, overlap_budget_);
+        overlap_budget_ -= hidden;
+        report.update_hidden_cycles = hidden;
+        if (hidden > 0) {
+            auto& t = OverlapTelemetry::get();
+            t.hidden_cycles.inc(hidden);
+            t.overlapped_batches.inc();
+        }
+    }
+
     pending_.note_batch(batch);
     compute_due_ = !report.defer_compute;
     return report;
+}
+
+void
+SimEngine::note_compute_round(Cycles compute_cycles)
+{
+    overlap_budget_ = core_.config().pipeline_depth >= 2 ? compute_cycles : 0;
 }
 
 } // namespace igs::sim

@@ -41,8 +41,27 @@ class SimEngine {
     /** True when a compute round is due (OCA may defer it). */
     bool compute_due() const { return compute_due_; }
 
-    /** Hand the accumulated modifications to the compute phase. */
-    core::PendingWork take_pending_work() { return pending_.take(); }
+    /**
+     * Hand the accumulated modifications to the compute phase, advancing
+     * the graph's snapshot epoch and stamping the work with it (the sim
+     * frontend models publication; there is no host-side copy to pay).
+     */
+    core::PendingWork
+    take_pending_work()
+    {
+        return pending_.hand_off(graph_.advance_epoch());
+    }
+
+    /**
+     * Model a compute round of `compute_cycles` launched against the epoch
+     * just handed off.  At pipeline depth >= 2 those cycles run on the
+     * compute half of the machine concurrently with subsequent ingests, so
+     * the following batches' update cycles are hidden under them until the
+     * budget is exhausted — each such batch's BatchReport reports the
+     * hidden amount in `update_hidden_cycles` (DESIGN.md §11).  At depth 1
+     * the round serializes with ingest and nothing is hidden.
+     */
+    void note_compute_round(Cycles compute_cycles);
 
     /** The underlying update runner (HAU/NoC inspection in benches). */
     UpdateRunner& runner() { return runner_; }
@@ -59,6 +78,9 @@ class SimEngine {
     stream::Reorderer reorderer_;
     core::detail::PendingAccumulator pending_;
     bool compute_due_ = false;
+    /** Remaining modeled compute cycles the next ingests can hide under
+     *  (pipeline depth >= 2 only; see note_compute_round). */
+    Cycles overlap_budget_ = 0;
 };
 
 } // namespace igs::sim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Pending compute-phase work, accumulated per batch and handed off per
+ * epoch.
+ *
+ * The engines (core::RealTimeEngine, sim::SimEngine) record every batch
+ * into a PendingAccumulator; when a compute round is due (immediately, or
+ * after OCA aggregates two batches) the accumulated work is handed off as
+ * one @ref PendingWork stamped with the epoch of the snapshot it belongs
+ * to (DESIGN.md §11).  Incremental algorithms consume the dirty-vertex and
+ * edge-delta lists; the engine's snapshot publication consumes `affected`
+ * as its copy-on-publish dirty set.
+ *
+ * Lives in stream/ (not core/) because the accumulation is a property of
+ * the input stream, not of the decision logic — and the sim layer needs it
+ * without dragging in core's controllers.  Layer rule: stream/ includes
+ * only common/ (tools/layers.toml).
+ */
+#ifndef IGS_STREAM_PENDING_H
+#define IGS_STREAM_PENDING_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "stream/batch.h"
+
+namespace igs::stream {
+
+/** Batch-span work handed to the compute phase. */
+struct PendingWork {
+    /** Unique vertices touched since the last compute round (sorted). */
+    std::vector<VertexId> affected;
+    /** Edge modifications since the last compute round. */
+    std::vector<StreamEdge> inserted;
+    std::vector<StreamEdge> deleted;
+    /** How many batches this round aggregates (1 normally, 2 under OCA). */
+    std::uint32_t batches = 0;
+    /** Epoch of the snapshot this work was published against (0 when the
+     *  caller uses the legacy epochless @ref PendingAccumulator::take). */
+    EpochId epoch = 0;
+};
+
+/** Accumulates compute-phase work across (possibly aggregated) batches.
+ *  Named note_batch (not add) so the whole-program analyzer's simple-name
+ *  call graph keeps it distinct from the hot-path add() entry points. */
+class PendingAccumulator {
+  public:
+    void
+    note_batch(const EdgeBatch& batch)
+    {
+        for (const StreamEdge& e : batch.edges()) {
+            affected_.push_back(e.src);
+            affected_.push_back(e.dst);
+            if (e.is_delete) {
+                deleted_.push_back(e);
+            } else {
+                inserted_.push_back(e);
+            }
+        }
+        ++batches_;
+    }
+
+    /**
+     * Hand the accumulated work to the compute phase, stamped with the
+     * epoch it was published under.  `affected` is deduplicated (sorted
+     * unique) so snapshot publication copies each dirty vertex once.
+     * The accumulator resets and its buffers are reusable.
+     */
+    PendingWork
+    hand_off(EpochId epoch)
+    {
+        PendingWork w;
+        std::sort(affected_.begin(), affected_.end());
+        affected_.erase(std::unique(affected_.begin(), affected_.end()),
+                        affected_.end());
+        w.affected = std::move(affected_);
+        w.inserted = std::move(inserted_);
+        w.deleted = std::move(deleted_);
+        w.batches = batches_;
+        w.epoch = epoch;
+        affected_.clear();
+        inserted_.clear();
+        deleted_.clear();
+        batches_ = 0;
+        return w;
+    }
+
+    /** Legacy epochless hand-off (pre-pipeline callers). */
+    PendingWork take() { return hand_off(0); }
+
+    std::uint32_t pending_batches() const { return batches_; }
+    bool empty() const { return batches_ == 0 && affected_.empty(); }
+
+  private:
+    std::vector<VertexId> affected_;
+    std::vector<StreamEdge> inserted_;
+    std::vector<StreamEdge> deleted_;
+    std::uint32_t batches_ = 0;
+};
+
+} // namespace igs::stream
+
+#endif // IGS_STREAM_PENDING_H

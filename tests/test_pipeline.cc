@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Tests for the epoch-versioned GraphStore and the update/compute
+ * pipeline (DESIGN.md §11): snapshot publication correctness, depth-1
+ * equivalence with the pre-pipeline engine, depth-2 result equality with
+ * the serial run, backpressure accounting, per-epoch PendingWork
+ * hand-off, and the sim frontend's modeled overlap.
+ */
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analytics/compute_meter.h"
+#include "analytics/pagerank.h"
+#include "analytics/sssp.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "gen/edge_stream.h"
+#include "graph/adjacency_list.h"
+#include "graph/graph_store.h"
+#include "graph/indexed_adjacency.h"
+#include "graph/snapshot_view.h"
+#include "sim/sim_engine.h"
+#include "stream/pending.h"
+
+namespace igs {
+namespace {
+
+// Every storage backend satisfies the read-path concept; the live stores
+// and the snapshot additionally carry the epoch token.
+static_assert(graph::GraphReadPath<graph::AdjacencyList>);
+static_assert(graph::GraphReadPath<graph::IndexedAdjacency>);
+static_assert(graph::GraphReadPath<graph::SnapshotView>);
+static_assert(graph::GraphStore<graph::AdjacencyList>);
+static_assert(graph::GraphStore<graph::IndexedAdjacency>);
+static_assert(graph::GraphStore<graph::SnapshotView>);
+
+stream::EdgeBatch
+pipeline_batch(std::uint64_t id, std::size_t n, std::uint64_t seed)
+{
+    gen::StreamModel m;
+    m.num_vertices = 2000;
+    m.num_hubs = 8;
+    m.hub_mass_dst = 0.3;
+    m.seed = seed;
+    stream::EdgeBatch b;
+    b.id = id;
+    b.set_edges(gen::EdgeStreamGenerator(m).take(n));
+    return b;
+}
+
+core::EngineConfig
+pipeline_config(core::UpdatePolicy policy, unsigned depth)
+{
+    core::EngineConfig cfg;
+    cfg.policy = policy;
+    cfg.abr.n = 2;
+    cfg.pipeline_depth = depth;
+    return cfg;
+}
+
+void
+expect_snapshot_matches_live(const graph::SnapshotView& snap,
+                             const graph::AdjacencyList& live)
+{
+    ASSERT_EQ(snap.num_vertices(), live.num_vertices());
+    EXPECT_EQ(snap.num_edges(), live.num_edges());
+    for (VertexId v = 0; v < live.num_vertices(); ++v) {
+        for (Direction dir : {Direction::kOut, Direction::kIn}) {
+            EXPECT_EQ(snap.edges(v, dir), live.edges(v, dir))
+                << "vertex " << v << " dir " << to_string(dir);
+        }
+    }
+}
+
+// ----------------------------------------------------------- snapshots
+TEST(SnapshotStore, FirstPublishCopiesWholeGraph)
+{
+    graph::AdjacencyList live(8);
+    live.apply_insert(1, {2, 1.0f}, Direction::kOut);
+    live.apply_insert(2, {1, 1.0f}, Direction::kIn);
+    live.apply_insert(3, {4, 2.5f}, Direction::kOut);
+    live.apply_insert(4, {3, 2.5f}, Direction::kIn);
+    live.advance_epoch();
+
+    graph::SnapshotStore store;
+    // Empty dirty set: the first publication must still copy everything.
+    const auto ps = store.publish(live, {});
+    EXPECT_EQ(ps.epoch, 1u);
+    EXPECT_EQ(ps.dirty_vertices, 8u);
+    EXPECT_EQ(ps.copied_edges, 4u);
+    EXPECT_EQ(ps.grown_vertices, 8u);
+    expect_snapshot_matches_live(store.view(), live);
+    EXPECT_EQ(store.view().epoch(), 1u);
+}
+
+TEST(SnapshotStore, IncrementalPublishCopiesOnlyDirtyVertices)
+{
+    graph::AdjacencyList live(6);
+    live.apply_insert(0, {1, 1.0f}, Direction::kOut);
+    live.apply_insert(1, {0, 1.0f}, Direction::kIn);
+    live.advance_epoch();
+    graph::SnapshotStore store;
+    (void)store.publish(live, {});
+
+    // Mutate vertices 2 and 3 only; vertex 0/1 snapshots must survive a
+    // publication whose dirty set excludes them.
+    live.apply_insert(2, {3, 4.0f}, Direction::kOut);
+    live.apply_insert(3, {2, 4.0f}, Direction::kIn);
+    live.advance_epoch();
+    const std::vector<VertexId> dirty{2, 3};
+    const auto ps = store.publish(live, dirty);
+    EXPECT_EQ(ps.epoch, 2u);
+    EXPECT_EQ(ps.dirty_vertices, 2u);
+    EXPECT_EQ(ps.copied_edges, 2u); // one out-entry + one in-entry
+    EXPECT_EQ(ps.grown_vertices, 0u);
+    expect_snapshot_matches_live(store.view(), live);
+
+    // A stale dirty set misses vertex 4's new edge: the snapshot must NOT
+    // pick it up — proof that publication copies only what it is told.
+    live.apply_insert(4, {5, 1.0f}, Direction::kOut);
+    live.advance_epoch();
+    (void)store.publish(live, dirty);
+    EXPECT_EQ(store.view().degree(4, Direction::kOut), 0u);
+    EXPECT_EQ(live.degree(4, Direction::kOut), 1u);
+}
+
+TEST(SnapshotStore, DirtyIdsBeyondLiveVertexSpaceAreIgnored)
+{
+    graph::AdjacencyList live(4);
+    live.advance_epoch();
+    graph::SnapshotStore store;
+    (void)store.publish(live, {});
+    live.advance_epoch();
+    const std::vector<VertexId> dirty{2, 17, 400};
+    const auto ps = store.publish(live, dirty);
+    EXPECT_EQ(ps.copied_edges, 0u);
+    EXPECT_EQ(store.view().num_vertices(), 4u);
+}
+
+// ----------------------------------------------------- pending hand-off
+TEST(PendingAccumulator, HandOffOnEmptyAccumulatorIsEmptyButStamped)
+{
+    stream::PendingAccumulator acc;
+    EXPECT_TRUE(acc.empty());
+    const auto w = acc.hand_off(7);
+    EXPECT_TRUE(w.affected.empty());
+    EXPECT_TRUE(w.inserted.empty());
+    EXPECT_TRUE(w.deleted.empty());
+    EXPECT_EQ(w.batches, 0u);
+    EXPECT_EQ(w.epoch, 7u);
+    // Legacy epochless drain on the (still empty) accumulator.
+    const auto legacy = acc.take();
+    EXPECT_EQ(legacy.epoch, 0u);
+    EXPECT_EQ(legacy.batches, 0u);
+    EXPECT_TRUE(acc.empty());
+}
+
+TEST(PendingAccumulator, DeleteThenInsertOfSameEdgeWithinAggregatedWindow)
+{
+    // OCA aggregates two batches into one compute round.  Batch 1 deletes
+    // (5,6); batch 2 re-inserts it.  The hand-off must preserve both
+    // modifications (the compute phase sees the net effect through the
+    // snapshot; incremental SSSP needs both lists to trim and re-relax).
+    stream::PendingAccumulator acc;
+    stream::EdgeBatch b1(1, {{5, 6, 1.0f, /*is_delete=*/true}});
+    stream::EdgeBatch b2(2, {{5, 6, 2.0f, /*is_delete=*/false}});
+    acc.note_batch(b1);
+    EXPECT_FALSE(acc.empty());
+    acc.note_batch(b2);
+    const auto w = acc.hand_off(3);
+    EXPECT_EQ(w.batches, 2u);
+    EXPECT_EQ(w.epoch, 3u);
+    ASSERT_EQ(w.deleted.size(), 1u);
+    ASSERT_EQ(w.inserted.size(), 1u);
+    EXPECT_TRUE(w.deleted[0].is_delete);
+    EXPECT_EQ(w.inserted[0].weight, 2.0f);
+    // Affected covers both endpoints once despite four mentions.
+    EXPECT_EQ(w.affected, (std::vector<VertexId>{5, 6}));
+    // The accumulator reset: a following window starts clean.
+    EXPECT_TRUE(acc.empty());
+    EXPECT_EQ(acc.pending_batches(), 0u);
+}
+
+// ------------------------------------------------- depth-1 equivalence
+void
+expect_reports_equal(const core::BatchReport& a, const core::BatchReport& b)
+{
+    EXPECT_EQ(a.batch_id, b.batch_id);
+    EXPECT_EQ(a.abr_active, b.abr_active);
+    EXPECT_EQ(a.reordered, b.reordered);
+    EXPECT_EQ(a.used_usc, b.used_usc);
+    EXPECT_EQ(a.used_hau, b.used_hau);
+    ASSERT_EQ(a.cad.has_value(), b.cad.has_value());
+    if (a.cad.has_value()) {
+        EXPECT_EQ(a.cad->cad_out, b.cad->cad_out);
+        EXPECT_EQ(a.cad->cad_in, b.cad->cad_in);
+        EXPECT_EQ(a.cad->max_out_degree, b.cad->max_out_degree);
+        EXPECT_EQ(a.cad->max_in_degree, b.cad->max_in_degree);
+    }
+    EXPECT_EQ(a.overlap, b.overlap);
+    EXPECT_EQ(a.defer_compute, b.defer_compute);
+    EXPECT_EQ(a.instrumentation_cycles, b.instrumentation_cycles);
+    EXPECT_EQ(a.update.cycles, b.update.cycles);
+    EXPECT_EQ(a.update.probes, b.update.probes);
+    EXPECT_EQ(a.update.inserts, b.update.inserts);
+    EXPECT_EQ(a.update.removes, b.update.removes);
+    EXPECT_EQ(a.update_hidden_cycles, b.update_hidden_cycles);
+    // wall_seconds is wall clock: nondeterministic by nature, excluded.
+}
+
+TEST(RealTimeEnginePipeline, DepthOneMatchesUnpipelinedEngineExactly)
+{
+    ThreadPool pool(4);
+    const auto cfg = pipeline_config(core::UpdatePolicy::kAbrUsc, 1);
+    core::RealTimeEngine plain(cfg, 2000, pool);
+    core::RealTimeEngine piped(cfg, 2000, pool);
+    std::uint64_t rounds = 0;
+    piped.set_compute([&](const graph::SnapshotView& snap,
+                          const core::PendingWork& work) {
+        ++rounds;
+        EXPECT_EQ(snap.epoch(), work.epoch);
+    });
+
+    for (std::uint64_t k = 1; k <= 4; ++k) {
+        const auto batch = pipeline_batch(k, 1200, 40 + k);
+        const auto ra = plain.ingest(batch);
+        const auto rb = piped.ingest(batch);
+        expect_reports_equal(ra, rb);
+        // The legacy polling contract is untouched in pipeline mode.
+        EXPECT_EQ(plain.compute_due(), piped.compute_due());
+    }
+    EXPECT_TRUE(plain.graph().same_topology(piped.graph()));
+    EXPECT_GT(rounds, 0u);
+    // An OCA-deferred tail may still be pending; flush it so the final
+    // snapshot corresponds to the full stream.
+    piped.flush_pipeline();
+    EXPECT_EQ(rounds, piped.pipeline_stats().epochs_published);
+    // Depth 1 runs rounds inline: no compute thread, no stalls.
+    EXPECT_EQ(piped.pipeline_stats().backpressure_stalls, 0u);
+    // The published snapshot is the live graph at the last publication.
+    expect_snapshot_matches_live(piped.snapshot(), piped.graph());
+    EXPECT_EQ(piped.snapshot().epoch(), piped.graph().epoch());
+}
+
+// ------------------------------------------------- depth-2 equivalence
+struct PipelineAnalytics {
+    analytics::IncrementalPageRank pagerank;
+    analytics::IncrementalSssp sssp{0};
+    analytics::ComputeMeter meter;
+
+    void
+    round(const graph::SnapshotView& snap, const core::PendingWork& work)
+    {
+        meter.round_on(work.epoch);
+        pagerank.on_batch(snap, work.affected, &meter);
+        sssp.on_batch(snap, work.inserted, work.deleted, &meter);
+    }
+};
+
+TEST(RealTimeEnginePipeline, DepthTwoResultsEqualSerialRun)
+{
+    // One update worker pins the edge-array order: under a multi-worker
+    // update only weights/topology are schedule-deterministic (see
+    // adjacency_list.h), and incremental PageRank's float summation is
+    // order-sensitive.  With the order pinned, any divergence below is
+    // attributable to the pipeline itself — which must introduce none.
+    ThreadPool pool(1);
+    PipelineAnalytics serial;
+    PipelineAnalytics overlapped;
+    const auto serial_cfg = pipeline_config(core::UpdatePolicy::kAbrUsc, 1);
+    const auto piped_cfg = pipeline_config(core::UpdatePolicy::kAbrUsc, 2);
+    core::RealTimeEngine serial_engine(serial_cfg, 2000, pool);
+    core::RealTimeEngine piped_engine(piped_cfg, 2000, pool);
+    serial_engine.set_compute(
+        [&](const graph::SnapshotView& s, const core::PendingWork& w) {
+            serial.round(s, w);
+        });
+    piped_engine.set_compute(
+        [&](const graph::SnapshotView& s, const core::PendingWork& w) {
+            overlapped.round(s, w);
+        });
+
+    for (std::uint64_t k = 1; k <= 6; ++k) {
+        // Mix in deletions so the SSSP trim path is exercised.
+        auto batch = pipeline_batch(k, 900, 50 + k);
+        if (k >= 2) {
+            auto prev = pipeline_batch(k - 1, 900, 50 + k - 1);
+            for (std::size_t i = 0; i < 40; ++i) {
+                StreamEdge del = prev.edges()[i * 7];
+                del.is_delete = true;
+                batch.push_edge(del);
+            }
+        }
+        (void)serial_engine.ingest(batch);
+        (void)piped_engine.ingest(batch);
+    }
+    serial_engine.flush_pipeline();
+    piped_engine.flush_pipeline();
+
+    // Same epochs, same snapshots, same rounds => bitwise-equal results.
+    EXPECT_TRUE(serial_engine.graph().same_topology(piped_engine.graph()));
+    EXPECT_EQ(serial.meter.last_epoch(), overlapped.meter.last_epoch());
+    EXPECT_EQ(serial.meter.stats().activations,
+              overlapped.meter.stats().activations);
+    EXPECT_EQ(serial.meter.stats().traversals,
+              overlapped.meter.stats().traversals);
+    EXPECT_EQ(serial.pagerank.ranks(), overlapped.pagerank.ranks());
+    EXPECT_EQ(serial.sssp.distances(), overlapped.sssp.distances());
+    EXPECT_GT(serial.pagerank.ranks().size(), 0u);
+}
+
+TEST(RealTimeEnginePipeline, DepthTwoStallsWhenComputeOutlastsIngest)
+{
+    ThreadPool pool(4);
+    const auto cfg = pipeline_config(core::UpdatePolicy::kBaseline, 2);
+    core::RealTimeEngine engine(cfg, 2000, pool);
+    std::atomic<std::uint64_t> rounds{0};
+    engine.set_compute([&](const graph::SnapshotView&,
+                           const core::PendingWork&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        rounds.fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::uint64_t k = 1; k <= 3; ++k) {
+        (void)engine.ingest(pipeline_batch(k, 400, 60 + k));
+    }
+    engine.flush_pipeline();
+    const auto& ps = engine.pipeline_stats();
+    EXPECT_EQ(rounds.load(), 3u);
+    EXPECT_EQ(ps.epochs_published, 3u);
+    // A 20ms round always outlasts a 400-edge ingest: every publication
+    // after the first (and the final flush) waits on the in-flight round.
+    EXPECT_GE(ps.backpressure_stalls, 2u);
+    EXPECT_GT(ps.stall_seconds, 0.0);
+}
+
+TEST(RealTimeEnginePipeline, FlushPublishesOcaDeferredTail)
+{
+    ThreadPool pool(4);
+    auto cfg = pipeline_config(core::UpdatePolicy::kBaseline, 2);
+    cfg.oca.enabled = true;
+    cfg.oca.threshold = 0.0; // always aggregate once measured
+    cfg.abr.n = 1;           // probe every batch
+    core::RealTimeEngine engine(cfg, 2000, pool);
+    std::atomic<std::uint64_t> batches_computed{0};
+    engine.set_compute([&](const graph::SnapshotView&,
+                           const core::PendingWork& w) {
+        batches_computed.fetch_add(w.batches, std::memory_order_relaxed);
+    });
+    (void)engine.ingest(pipeline_batch(1, 500, 71));
+    // Batch 2 defers its round (aggregation latched): no publication.
+    const auto r2 = engine.ingest(pipeline_batch(2, 500, 72));
+    EXPECT_TRUE(r2.defer_compute);
+    engine.flush_pipeline();
+    // The deferred tail reached compute via the flush.
+    EXPECT_EQ(batches_computed.load(), 2u);
+    EXPECT_EQ(engine.pipeline_stats().epochs_published, 2u);
+    // Flushing again is a no-op.
+    engine.flush_pipeline();
+    EXPECT_EQ(engine.pipeline_stats().epochs_published, 2u);
+}
+
+// ----------------------------------------------------- epochs + tokens
+TEST(Epochs, AdvanceOnHandOffAndStampWork)
+{
+    sim::SimEngine engine(pipeline_config(core::UpdatePolicy::kBaseline, 2),
+                          sim::MachineParams{}, sim::SwCostParams{},
+                          sim::HauCostParams{}, 2000);
+    EXPECT_EQ(engine.graph().epoch(), 0u);
+    (void)engine.ingest(pipeline_batch(1, 300, 80));
+    const auto w1 = engine.take_pending_work();
+    EXPECT_EQ(w1.epoch, 1u);
+    EXPECT_EQ(engine.graph().epoch(), 1u);
+    (void)engine.ingest(pipeline_batch(2, 300, 81));
+    const auto w2 = engine.take_pending_work();
+    EXPECT_EQ(w2.epoch, 2u);
+}
+
+// ------------------------------------------------- sim overlap modeling
+TEST(SimEnginePipeline, UpdateCyclesHiddenUnderComputeAtDepthTwo)
+{
+    sim::SimEngine engine(pipeline_config(core::UpdatePolicy::kBaseline, 2),
+                          sim::MachineParams{}, sim::SwCostParams{},
+                          sim::HauCostParams{}, 2000);
+    const auto r1 = engine.ingest(pipeline_batch(1, 800, 90));
+    EXPECT_EQ(r1.update_hidden_cycles, 0u); // nothing in flight yet
+    (void)engine.take_pending_work();
+    // A compute round larger than any batch's update: the next batches'
+    // updates hide completely until the budget drains.
+    engine.note_compute_round(r1.update.cycles * 3);
+    const auto r2 = engine.ingest(pipeline_batch(2, 800, 91));
+    EXPECT_EQ(r2.update_hidden_cycles, r2.update.cycles);
+    EXPECT_GT(r2.update_hidden_cycles, 0u);
+    // Budget drains monotonically across subsequent ingests.
+    const auto r3 = engine.ingest(pipeline_batch(3, 800, 92));
+    const auto r4 = engine.ingest(pipeline_batch(4, 800, 93));
+    const auto r5 = engine.ingest(pipeline_batch(5, 800, 94));
+    const Cycles hidden_total = r2.update_hidden_cycles +
+                                r3.update_hidden_cycles +
+                                r4.update_hidden_cycles +
+                                r5.update_hidden_cycles;
+    EXPECT_LE(hidden_total, r1.update.cycles * 3);
+    EXPECT_LT(r5.update_hidden_cycles, r5.update.cycles); // budget exhausted
+}
+
+TEST(SimEnginePipeline, NoHidingAtDepthOne)
+{
+    sim::SimEngine engine(pipeline_config(core::UpdatePolicy::kBaseline, 1),
+                          sim::MachineParams{}, sim::SwCostParams{},
+                          sim::HauCostParams{}, 2000);
+    const auto r1 = engine.ingest(pipeline_batch(1, 800, 95));
+    (void)engine.take_pending_work();
+    engine.note_compute_round(r1.update.cycles * 100);
+    const auto r2 = engine.ingest(pipeline_batch(2, 800, 96));
+    EXPECT_EQ(r2.update_hidden_cycles, 0u);
+}
+
+// ----------------------------------------------------------- move fix
+TEST(AdjacencyListMove, MoveConstructionTransfersAndZeroesSource)
+{
+    graph::AdjacencyList a(16);
+    a.apply_insert(3, {4, 1.5f}, Direction::kOut);
+    a.apply_insert(4, {3, 1.5f}, Direction::kIn);
+    a.advance_epoch();
+    graph::AdjacencyList b(std::move(a));
+    EXPECT_EQ(b.num_vertices(), 16u);
+    EXPECT_EQ(b.num_edges(), 1u);
+    EXPECT_EQ(b.epoch(), 1u);
+    EXPECT_EQ(b.degree(3, Direction::kOut), 1u);
+    // The moved-from graph is empty and reusable, not half-alive.
+    EXPECT_EQ(a.num_vertices(), 0u);   // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(a.num_edges(), 0u);
+    EXPECT_EQ(a.epoch(), 0u);
+    a.ensure_vertices(4);
+    a.apply_insert(0, {1, 1.0f}, Direction::kOut);
+    EXPECT_EQ(a.num_edges(), 1u);
+    static_assert(!std::is_move_assignable_v<graph::AdjacencyList>);
+}
+
+} // namespace
+} // namespace igs

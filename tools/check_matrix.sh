@@ -4,6 +4,9 @@
 #
 #   asan  ASan + UBSan   (-DIGS_SANITIZE=address,undefined, gcc or clang)
 #   tsan  ThreadSanitizer (-DIGS_SANITIZE=thread)
+#   tsan-pipeline  focused TSan deep-run of the depth>=2 pipeline tests
+#         (test_pipeline's concurrent publish/compute interleavings,
+#         DESIGN.md §11) repeated until-fail; shares the tsan build tree
 #   tsa   clang -Wthread-safety as errors (-DIGS_THREAD_SAFETY=ON);
 #         compile-only analysis, then the plain test suite.
 #         Skipped (with a notice) when no clang++ is on PATH — the
@@ -14,7 +17,7 @@
 #         lock-order cycles, hot-path escapes) + fixture self-test
 #
 # Usage:  tools/check_matrix.sh [leg ...]
-#         (default: lint analyze asan tsan tsa)
+#         (default: lint analyze asan tsan tsan-pipeline tsa)
 #
 # Each leg builds in its own tree (build-check-<leg>) with
 # CMAKE_BUILD_TYPE=Debug so IGS_DCHECK and the Spinlock owner assertions
@@ -26,7 +29,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-    LEGS=(lint analyze asan tsan tsa)
+    LEGS=(lint analyze asan tsan tsan-pipeline tsa)
 fi
 
 # TSan suppressions: intentionally empty unless a race is provably benign
@@ -38,9 +41,12 @@ PASSED=()
 FAILED=()
 SKIPPED=()
 
+# Optional per-leg overrides, set by the caller before run_leg:
+#   IGS_CHECK_BDIR  build tree to (re)use instead of build-check-<leg>
+#   CTEST_EXTRA     extra ctest arguments (array), e.g. a -R filter
 run_leg() {
     local leg="$1"; shift
-    local bdir="$ROOT/build-check-$leg"
+    local bdir="${IGS_CHECK_BDIR:-$ROOT/build-check-$leg}"
     local cmake_extra=("$@")
     local cc_env=()
 
@@ -57,10 +63,15 @@ run_leg() {
     fi
     echo "=== [$leg] ctest ==="
     local env_prefix=()
-    if [ "$leg" = tsan ] && [ -s "$TSAN_SUPP" ]; then
-        env_prefix=(env TSAN_OPTIONS="suppressions=$TSAN_SUPP ${TSAN_OPTIONS:-}")
-    fi
-    if ! (cd "$bdir" && "${env_prefix[@]}" ctest --output-on-failure -j "$JOBS"); then
+    case "$leg" in
+      tsan*)
+        if [ -s "$TSAN_SUPP" ]; then
+            env_prefix=(env TSAN_OPTIONS="suppressions=$TSAN_SUPP ${TSAN_OPTIONS:-}")
+        fi
+        ;;
+    esac
+    if ! (cd "$bdir" && "${env_prefix[@]}" ctest --output-on-failure -j "$JOBS" \
+            ${CTEST_EXTRA[@]+"${CTEST_EXTRA[@]}"}); then
         FAILED+=("$leg (ctest)"); return 1
     fi
     PASSED+=("$leg")
@@ -94,6 +105,17 @@ for leg in "${LEGS[@]}"; do
       tsan)
         run_leg tsan -DIGS_SANITIZE=thread
         ;;
+      tsan-pipeline)
+        # The plain tsan leg already runs test_pipeline once as part of
+        # the full suite; this leg re-runs the pipeline/epoch tests
+        # (which exercise the depth>=2 concurrent publish/compute path)
+        # several times to widen schedule coverage.  Reuses the tsan
+        # tree, so running after `tsan` costs no extra build.
+        IGS_CHECK_BDIR="$ROOT/build-check-tsan"
+        CTEST_EXTRA=(-R 'Pipeline|Epochs|SnapshotStore' --repeat until-fail:5)
+        run_leg tsan-pipeline -DIGS_SANITIZE=thread
+        unset IGS_CHECK_BDIR CTEST_EXTRA
+        ;;
       tsa)
         if command -v clang++ >/dev/null 2>&1; then
             CC=clang CXX=clang++ run_leg tsa -DIGS_THREAD_SAFETY=ON \
@@ -105,7 +127,8 @@ for leg in "${LEGS[@]}"; do
         fi
         ;;
       *)
-        echo "unknown leg: $leg (known: lint analyze asan tsan tsa)" >&2
+        echo "unknown leg: $leg (known: lint analyze asan tsan" \
+             "tsan-pipeline tsa)" >&2
         FAILED+=("$leg (unknown)")
         ;;
     esac

@@ -35,7 +35,12 @@ SCHEMA_VERSION = 1
 # their internal dots, so prefix globs match them naturally.
 RULES = [
     ("host.wall_seconds", "ignore"),
-    ("host.bench_scale", "ignore"),  # env-dependent, never affects goldens
+    # Scale metadata is excluded from the field diff but checked up front:
+    # scale_mismatch() refuses to compare documents whose effective
+    # IGS_BENCH_SCALE differs (a scaled run pins different batch counts,
+    # so every cycle count would "mismatch" for the wrong reason).
+    ("host.bench_scale", "ignore"),
+    ("host.bench_scale_env", "ignore"),
     ("telemetry.phases*", "ignore"),  # wall-clock accumulators
     ("*wall*", "ignore"),
     ("*seconds*", "ignore"),
@@ -99,6 +104,26 @@ def diff(golden, candidate, path="", out=None):
         if not _values_match(action, golden, candidate):
             out.append(f"{path}: {golden!r} vs {candidate!r}")
     return out
+
+
+def scale_mismatch(golden, candidate):
+    """Return an error string when the two documents were produced at
+    different effective bench scales, else None.
+
+    bench_scale is otherwise ignored by the field diff (it never affects
+    a golden produced at scale 1), but silently diffing a scaled candidate
+    against an unscaled golden would flood the report with cycle-count
+    mismatches whose real cause is the batch-count difference.  Refuse
+    up front with an actionable message instead.
+    """
+    g = golden.get("host", {}).get("bench_scale")
+    c = candidate.get("host", {}).get("bench_scale")
+    if g is None or c is None or g == c:
+        return None
+    return (f"bench scale mismatch: golden was produced at "
+            f"bench_scale={g!r}, candidate at bench_scale={c!r}; "
+            "unset IGS_BENCH_SCALE (or rerun via --binary, which "
+            "strips it) before comparing")
 
 
 def check_schema(doc, label):
@@ -171,6 +196,20 @@ def self_test():
     del bad["streams"][0]["batches"][0]
     assert diff(golden, bad) == ["streams[0].batches: length 1 vs 0"]
 
+    # A candidate carrying the newer bench_scale_env metadata key diffs
+    # clean against an older golden that predates it.
+    ok = json.loads(json.dumps(golden))
+    ok["host"]["bench_scale_env"] = None
+    assert diff(golden, ok) == [], diff(golden, ok)
+
+    # Same scale (or absent scale) never trips the refusal ...
+    assert scale_mismatch(golden, ok) is None
+    assert scale_mismatch({}, golden) is None
+    # ... but comparing documents from different effective scales does.
+    scaled = json.loads(json.dumps(golden))
+    scaled["host"]["bench_scale"] = 0.25
+    assert scale_mismatch(golden, scaled) is not None
+
     assert check_schema(golden, "g") == []
     assert check_schema({"schema_version": 2}, "g") != []
     print("golden_check self-test: OK")
@@ -221,6 +260,11 @@ def main():
     errs = check_schema(golden, "golden")
     if errs:
         print("\n".join(errs))
+        return 1
+
+    err = scale_mismatch(golden, candidate)
+    if err:
+        print(err)
         return 1
 
     mismatches = diff(golden, candidate)
