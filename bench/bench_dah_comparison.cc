@@ -9,10 +9,14 @@
  * is ABR's point.  (The paper's ratios are consistent with overall
  * update+compute performance — Fig 13 reports far larger update-only
  * gains for the same workload — so we report both.)
+ *
+ * A third arm runs the same replay on the GraphTango-style three-tier
+ * hybrid store (DESIGN.md §12); bench_hybrid_store sweeps it in depth.
  */
 #include "bench_support.h"
 
 #include "graph/degree_aware_hash.h"
+#include "graph/hybrid_store.h"
 #include "sim/sim_context.h"
 #include "stream/updaters.h"
 
@@ -45,26 +49,39 @@ main(int argc, char** argv)
                                           UpdatePolicy::kAlwaysReorderUsc,
                                           Algo::kPageRank);
 
-    // DAH baseline: the baseline kernel on the DAH structure under the
-    // same timing context.  Its ApplyResults report hash probes, so
-    // duplicate checks on high-degree vertices are O(1); the compute
-    // phase is structure-independent (same graph content), so AS's
-    // compute cycles apply.
-    Cycles dah_update = 0;
-    {
-        graph::DegreeAwareHash g(ds.model.num_vertices);
+    // DAH / hybrid baselines: the baseline kernel on the alternative
+    // structures under the same timing context.  Their ApplyResults
+    // report hash (or tiered) probes, so duplicate checks on high-degree
+    // vertices are O(1) / O(log d); the compute phase is
+    // structure-independent (same graph content), so AS's compute cycles
+    // apply.
+    const auto replay_structure = [&](auto& g) {
         sim::ExecSim exec(sim::MachineParams{}.num_cores,
                           ds.model.num_vertices * 2);
         sim::SwCostParams sw;
         auto genr = ds.make_generator();
+        Cycles update = 0;
         for (std::uint64_t k = 1; k <= nb; ++k) {
             stream::EdgeBatch batch;
             batch.id = k;
             batch.set_edges(genr.take(b));
             sim::SimContext ctx(exec, sw);
             stream::apply_batch_baseline(g, batch, ctx);
-            dah_update += ctx.stats().cycles;
+            update += ctx.stats().cycles;
         }
+        return update;
+    };
+    Cycles dah_update = 0;
+    {
+        graph::DegreeAwareHash g(ds.model.num_vertices,
+                                 bench::store_tuning());
+        dah_update = replay_structure(g);
+    }
+    Cycles hybrid_update = 0;
+    {
+        graph::HybridStore g(ds.model.num_vertices, bench::store_tuning());
+        hybrid_update = replay_structure(g);
+        g.publish_tier_telemetry();
     }
 
     const double base_update = static_cast<double>(as_base.update_cycles);
@@ -84,6 +101,11 @@ main(int argc, char** argv)
         .cell(base_update / static_cast<double>(dah_update))
         .cell(base_overall / (static_cast<double>(dah_update) + compute))
         .cell(std::string("1.95x"));
+    t.row()
+        .cell(std::string("Hybrid baseline"))
+        .cell(base_update / static_cast<double>(hybrid_update))
+        .cell(base_overall / (static_cast<double>(hybrid_update) + compute))
+        .cell(std::string("n/a (DESIGN.md 12)"));
     t.row()
         .cell(std::string("AS + batch reordering"))
         .cell(bench::speedup(as_base, as_ro))

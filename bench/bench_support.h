@@ -28,10 +28,27 @@
 #include "common/timer.h"
 #include "core/engine.h"
 #include "gen/datasets.h"
+#include "graph/degree_aware_hash.h"
+#include "graph/hybrid_store.h"
+#include "graph/store_tuning.h"
 #include "sim/sim_engine.h"
 #include "sim/update_runner.h"
 
 namespace igs::bench {
+
+/**
+ * The process-wide store tuning benches construct adaptive graph stores
+ * with.  Defaults match StoreTuning's defaults; JsonSink's constructor
+ * overrides it from `--dah-threshold=` / `--hybrid-threshold=` flags, and
+ * every JSON export echoes the effective values in its `host` block so
+ * golden diffs are threshold-aware.
+ */
+inline graph::StoreTuning&
+store_tuning()
+{
+    static graph::StoreTuning tuning;
+    return tuning;
+}
 
 /**
  * The IGS_BENCH_SCALE multiplier, parsed once per process.  Announces the
@@ -152,8 +169,20 @@ class JsonSink {
         IGS_CHECK_MSG(active_slot() == nullptr,
                       "only one JsonSink per process");
         for (int i = 1; i < argc;) {
+            bool strip = true;
             if (std::strncmp(argv[i], "--json=", 7) == 0) {
                 path_ = argv[i] + 7;
+            } else if (std::strncmp(argv[i], "--dah-threshold=", 16) == 0) {
+                store_tuning().dah_hash_threshold = parse_threshold(
+                    argv[i] + 16, graph::DahEdgeSet::kHashThreshold);
+            } else if (std::strncmp(argv[i], "--hybrid-threshold=", 19) ==
+                       0) {
+                store_tuning().hybrid_sorted_threshold = parse_threshold(
+                    argv[i] + 19, graph::StoreTuning{}.hybrid_sorted_threshold);
+            } else {
+                strip = false;
+            }
+            if (strip) {
                 for (int j = i; j + 1 < argc; ++j) {
                     argv[j] = argv[j + 1];
                 }
@@ -222,6 +251,20 @@ class JsonSink {
         return slot;
     }
 
+    static std::uint32_t
+    parse_threshold(const char* s, std::uint32_t fallback)
+    {
+        const long v = std::atol(s);
+        if (v <= 0) {
+            std::fprintf(stderr,
+                         "[bench] ignoring invalid store threshold '%s' "
+                         "(must be > 0); using %u\n",
+                         s, fallback);
+            return fallback;
+        }
+        return static_cast<std::uint32_t>(v);
+    }
+
     std::string
     serialize() const
     {
@@ -238,6 +281,14 @@ class JsonSink {
         } else {
             w.key("bench_scale_env").null();
         }
+        // Effective adaptive-store thresholds: golden diffs compare these
+        // exactly, so a run swept with non-default tiers can never pass
+        // for (or silently corrupt) a default-threshold golden.
+        w.kv("dah_hash_threshold", store_tuning().dah_hash_threshold);
+        w.kv("hybrid_sorted_threshold",
+             store_tuning().hybrid_sorted_threshold);
+        w.kv("hybrid_inline_capacity",
+             graph::HybridEdgeSet::kInlineCapacity);
         w.kv("wall_seconds", wall_.seconds());
         w.end_object();
         w.key("streams").begin_array();

@@ -115,7 +115,7 @@ class IncrementalPageRank {
         ComputeMeter* meter = external_meter != nullptr ? external_meter
                                                         : &local;
         const std::size_t n = g.num_vertices();
-        ensure_size(n);
+        ensure_rank_capacity(n);
         const double base = (1.0 - params_.damping) / static_cast<double>(n);
         const ComputeStats before = meter->stats();
         meter->round();
@@ -176,7 +176,7 @@ class IncrementalPageRank {
 
   private:
     void
-    ensure_size(std::size_t n)
+    ensure_rank_capacity(std::size_t n)
     {
         if (rank_.size() < n) {
             const double init =

@@ -106,7 +106,7 @@ class IncrementalSssp {
         const ComputeStats before = meter->stats();
         meter->round();
         const std::size_t n = g.num_vertices();
-        ensure_size(n);
+        ensure_dist_capacity(n);
 
         std::vector<VertexId> frontier;
         auto push = [&](VertexId v) {
@@ -238,7 +238,7 @@ class IncrementalSssp {
 
   private:
     void
-    ensure_size(std::size_t n)
+    ensure_dist_capacity(std::size_t n)
     {
         if (dist_.size() < n) {
             dist_.resize(n, kInfiniteDistance);

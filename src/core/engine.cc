@@ -1,7 +1,9 @@
 #include "core/engine.h"
 
+#include <type_traits>
 #include <utility>
 
+#include "common/check.h"
 #include "common/telemetry.h"
 #include "common/timer.h"
 #include "core/ingest.h"
@@ -140,6 +142,18 @@ to_string(UpdatePolicy policy)
     return "?";
 }
 
+const char*
+to_string(GraphBackend backend)
+{
+    switch (backend) {
+      case GraphBackend::kAdjacencyList:
+        return "adjacency-list";
+      case GraphBackend::kHybrid:
+        return "hybrid";
+    }
+    return "?";
+}
+
 namespace detail {
 
 void
@@ -181,27 +195,37 @@ DecisionCore::reorder_now(UpdatePolicy p) const
 
 } // namespace detail
 
-RealTimeEngine::RealTimeEngine(const EngineConfig& config,
-                               std::size_t num_vertices, ThreadPool& pool)
+template <typename GraphT>
+BasicRealTimeEngine<GraphT>::BasicRealTimeEngine(const EngineConfig& config,
+                                                 std::size_t num_vertices,
+                                                 ThreadPool& pool)
     : core_(config), graph_(num_vertices), pool_(pool),
       reorderer_(config.reorder_mode)
 {
+    // Adaptive backends take their tier/migration thresholds from the
+    // engine config; fixed-layout backends have no such hook.
+    if constexpr (requires { graph_.set_tuning(config.store); }) {
+        graph_.set_tuning(config.store);
+    }
 }
 
-RealTimeEngine::~RealTimeEngine()
+template <typename GraphT>
+BasicRealTimeEngine<GraphT>::~BasicRealTimeEngine()
 {
     join_inflight();
 }
 
+template <typename GraphT>
 void
-RealTimeEngine::set_compute(ComputeFn fn)
+BasicRealTimeEngine<GraphT>::set_compute(ComputeFn fn)
 {
     join_inflight();
     compute_fn_ = std::move(fn);
 }
 
+template <typename GraphT>
 void
-RealTimeEngine::join_inflight()
+BasicRealTimeEngine<GraphT>::join_inflight()
 {
     if (!inflight_.joinable()) {
         return;
@@ -219,8 +243,9 @@ RealTimeEngine::join_inflight()
     }
 }
 
+template <typename GraphT>
 void
-RealTimeEngine::publish_epoch()
+BasicRealTimeEngine<GraphT>::publish_epoch()
 {
     // Backpressure: at depth 2 the previous epoch's round may still be in
     // flight; publication would mutate the snapshot under it, so wait.
@@ -237,6 +262,11 @@ RealTimeEngine::publish_epoch()
     t.epochs.inc();
     t.dirty_vertices.inc(ps.dirty_vertices);
     t.copied_edges.inc(ps.copied_edges);
+    // Tiered backends refresh their per-tier population gauges once per
+    // epoch (a census, too costly per edge).
+    if constexpr (requires { graph_.publish_tier_telemetry(); }) {
+        graph_.publish_tier_telemetry();
+    }
 
     const graph::SnapshotView view = snapshots_.view();
     if (core_.config().pipeline_depth >= 2) {
@@ -250,8 +280,9 @@ RealTimeEngine::publish_epoch()
     }
 }
 
+template <typename GraphT>
 void
-RealTimeEngine::flush_pipeline()
+BasicRealTimeEngine<GraphT>::flush_pipeline()
 {
     if (!compute_fn_) {
         return;
@@ -262,8 +293,9 @@ RealTimeEngine::flush_pipeline()
     join_inflight();
 }
 
+template <typename GraphT>
 BatchReport
-RealTimeEngine::ingest(const stream::EdgeBatch& batch)
+BasicRealTimeEngine<GraphT>::ingest(const stream::EdgeBatch& batch)
 {
     Timer timer;
     bool reorder = false;
@@ -295,6 +327,101 @@ RealTimeEngine::ingest(const stream::EdgeBatch& batch)
         publish_epoch();
     }
     return report;
+}
+
+template class BasicRealTimeEngine<graph::AdjacencyList>;
+template class BasicRealTimeEngine<graph::HybridStore>;
+
+namespace {
+
+/** Forwarding visitor; the monostate alternative only exists during
+ *  AnyRealTimeEngine construction and is never observable afterwards. */
+template <typename Variant, typename Fn>
+decltype(auto)
+with_engine(Variant& v, Fn&& fn)
+{
+    return std::visit(
+        [&](auto& e) -> decltype(auto) {
+            if constexpr (std::is_same_v<std::decay_t<decltype(e)>,
+                                         std::monostate>) {
+                IGS_CHECK_MSG(false, "AnyRealTimeEngine not constructed");
+                // Unreachable; satisfies the common-return-type deduction.
+                return fn(*static_cast<RealTimeEngine*>(nullptr));
+            } else {
+                return fn(e);
+            }
+        },
+        v);
+}
+
+} // namespace
+
+AnyRealTimeEngine::AnyRealTimeEngine(const EngineConfig& config,
+                                     std::size_t num_vertices,
+                                     ThreadPool& pool)
+    : backend_(config.graph_backend)
+{
+    // The engines are immovable (atomics, a joinable thread), so the
+    // variant alternative is constructed in place.
+    if (backend_ == GraphBackend::kHybrid) {
+        engine_.emplace<HybridRealTimeEngine>(config, num_vertices, pool);
+    } else {
+        engine_.emplace<RealTimeEngine>(config, num_vertices, pool);
+    }
+}
+
+BatchReport
+AnyRealTimeEngine::ingest(const stream::EdgeBatch& batch)
+{
+    return with_engine(engine_, [&](auto& e) { return e.ingest(batch); });
+}
+
+bool
+AnyRealTimeEngine::compute_due() const
+{
+    return with_engine(engine_, [](const auto& e) { return e.compute_due(); });
+}
+
+PendingWork
+AnyRealTimeEngine::take_pending_work()
+{
+    return with_engine(engine_,
+                       [](auto& e) { return e.take_pending_work(); });
+}
+
+void
+AnyRealTimeEngine::set_compute(ComputeFn fn)
+{
+    with_engine(engine_, [&](auto& e) { e.set_compute(std::move(fn)); });
+}
+
+void
+AnyRealTimeEngine::flush_pipeline()
+{
+    with_engine(engine_, [](auto& e) { e.flush_pipeline(); });
+}
+
+graph::SnapshotView
+AnyRealTimeEngine::snapshot() const
+{
+    return with_engine(engine_, [](const auto& e) { return e.snapshot(); });
+}
+
+const PipelineStats&
+AnyRealTimeEngine::pipeline_stats() const
+{
+    return with_engine(engine_,
+                       [](const auto& e) -> const PipelineStats& {
+                           return e.pipeline_stats();
+                       });
+}
+
+const EngineConfig&
+AnyRealTimeEngine::config() const
+{
+    return with_engine(engine_, [](const auto& e) -> const EngineConfig& {
+        return e.config();
+    });
 }
 
 } // namespace igs::core

@@ -27,12 +27,15 @@
 #include <functional>
 #include <optional>
 #include <thread>
+#include <variant>
 #include <vector>
 
 #include "core/abr.h"
 #include "core/oca.h"
 #include "graph/adjacency_list.h"
+#include "graph/hybrid_store.h"
 #include "graph/snapshot_view.h"
+#include "graph/store_tuning.h"
 #include "stream/batch.h"
 #include "stream/pending.h"
 #include "stream/update_context.h"
@@ -54,11 +57,24 @@ enum class UpdatePolicy {
 
 const char* to_string(UpdatePolicy policy);
 
+/** Which live graph structure backs the real-time engine. */
+enum class GraphBackend {
+    kAdjacencyList, ///< per-vertex edge arrays, linear duplicate check
+    kHybrid,        ///< three-tier degree-adaptive store (HybridStore)
+};
+
+const char* to_string(GraphBackend backend);
+
 /** Engine configuration. */
 struct EngineConfig {
     UpdatePolicy policy = UpdatePolicy::kAbrUscHau;
     AbrParams abr;
     OcaParams oca;
+    /** Live store selection for @ref AnyRealTimeEngine (templated engines
+     *  fix the backend at compile time and ignore this field). */
+    GraphBackend graph_backend = GraphBackend::kAdjacencyList;
+    /** Tier/migration thresholds applied to adaptive backends. */
+    graph::StoreTuning store;
     /** Host algorithm producing reordered batches (identical output; the
      *  simulator charges the paper's sort cost either way). */
     stream::ReorderMode reorder_mode = stream::ReorderMode::kRadix;
@@ -145,10 +161,26 @@ struct PipelineStats {
     double stall_seconds = 0.0;
 };
 
+/** Compute round: runs against epoch `work.epoch`'s snapshot. */
+using ComputeFn =
+    std::function<void(const graph::SnapshotView&, const PendingWork&)>;
+
 /**
  * Real-host input-aware engine: actual threads, actual locks.  Timing is
  * wall-clock; HAU is unavailable (hardware) so kAbrUscHau and kAlwaysHau
  * degrade to their software equivalents.
+ *
+ * Templated over the live graph structure (the backend).  `GraphT` must
+ * provide the mutable-store surface AdjacencyList defines: ensure_vertices,
+ * apply_insert/apply_remove, lock(v,dir), latest_bid/exchange_latest_bid,
+ * epoch()/advance_epoch(), and the graph::GraphStore read path for
+ * snapshot publication.  Backends with extra hooks are detected with
+ * `if constexpr (requires ...)`: a `set_tuning(StoreTuning)` member
+ * receives EngineConfig::store at construction, and a
+ * `publish_tier_telemetry()` member is invoked at each epoch publication
+ * (HybridStore implements both).  Use the @ref RealTimeEngine /
+ * @ref HybridRealTimeEngine aliases, or @ref AnyRealTimeEngine to pick
+ * the backend at runtime from EngineConfig::graph_backend.
  *
  * Threading contract (see DESIGN.md §8, §11): `ingest` is externally
  * serialized — one batch in flight at a time.  Parallelism happens *inside*
@@ -168,18 +200,18 @@ struct PipelineStats {
  * callback the engine behaves exactly as before: callers poll
  * `compute_due` and drain `take_pending_work` themselves.
  */
-class RealTimeEngine {
+template <typename GraphT>
+class BasicRealTimeEngine {
   public:
     /** Compute round: runs against epoch `work.epoch`'s snapshot. */
-    using ComputeFn =
-        std::function<void(const graph::SnapshotView&, const PendingWork&)>;
+    using ComputeFn = core::ComputeFn;
 
-    RealTimeEngine(const EngineConfig& config, std::size_t num_vertices,
-                   ThreadPool& pool = default_pool());
-    ~RealTimeEngine();
+    BasicRealTimeEngine(const EngineConfig& config, std::size_t num_vertices,
+                        ThreadPool& pool = default_pool());
+    ~BasicRealTimeEngine();
 
-    graph::AdjacencyList& graph() { return graph_; }
-    const graph::AdjacencyList& graph() const { return graph_; }
+    GraphT& graph() { return graph_; }
+    const GraphT& graph() const { return graph_; }
 
     BatchReport ingest(const stream::EdgeBatch& batch);
 
@@ -212,7 +244,7 @@ class RealTimeEngine {
     void join_inflight();
 
     detail::DecisionCore core_;
-    graph::AdjacencyList graph_;
+    GraphT graph_;
     ThreadPool& pool_;
     /** Arena-backed reorderer, reused across batches. */
     stream::Reorderer reorderer_;
@@ -232,6 +264,60 @@ class RealTimeEngine {
      *  distinguish a blocking join from reaping a finished round. */
     std::atomic<bool> inflight_done_{false};
     PipelineStats pipeline_stats_;
+};
+
+/** The historical engine: adjacency-list backend. */
+using RealTimeEngine = BasicRealTimeEngine<graph::AdjacencyList>;
+/** Three-tier hybrid-store backend (graph/hybrid_store.h). */
+using HybridRealTimeEngine = BasicRealTimeEngine<graph::HybridStore>;
+
+// Instantiated once in engine.cc for both backends.
+extern template class BasicRealTimeEngine<graph::AdjacencyList>;
+extern template class BasicRealTimeEngine<graph::HybridStore>;
+
+/**
+ * Runtime-backend-selected real-time engine: constructs the
+ * BasicRealTimeEngine matching EngineConfig::graph_backend and forwards
+ * the engine surface to it.  For callers (benches, services) whose store
+ * choice is configuration, not code.
+ */
+class AnyRealTimeEngine {
+  public:
+    AnyRealTimeEngine(const EngineConfig& config, std::size_t num_vertices,
+                      ThreadPool& pool = default_pool());
+
+    GraphBackend backend() const { return backend_; }
+
+    BatchReport ingest(const stream::EdgeBatch& batch);
+    bool compute_due() const;
+    PendingWork take_pending_work();
+    void set_compute(ComputeFn fn);
+    void flush_pipeline();
+    graph::SnapshotView snapshot() const;
+    const PipelineStats& pipeline_stats() const;
+    const EngineConfig& config() const;
+
+    /** The concrete engine for backend `GraphT` (throws on mismatch). */
+    template <typename GraphT>
+    BasicRealTimeEngine<GraphT>&
+    engine()
+    {
+        return std::get<BasicRealTimeEngine<GraphT>>(engine_);
+    }
+
+    template <typename GraphT>
+    const BasicRealTimeEngine<GraphT>&
+    engine() const
+    {
+        return std::get<BasicRealTimeEngine<GraphT>>(engine_);
+    }
+
+  private:
+    /** Monostate only during construction: the engines are neither
+     *  movable nor copyable, so the variant is filled via emplace. */
+    std::variant<std::monostate, RealTimeEngine, HybridRealTimeEngine>
+        engine_;
+    GraphBackend backend_;
 };
 
 } // namespace igs::core

@@ -5,7 +5,7 @@
 namespace igs::graph {
 
 ApplyResult
-DahEdgeSet::insert(Neighbor nbr)
+DahEdgeSet::insert(Neighbor nbr, std::uint32_t hash_threshold)
 {
     if (!table_.empty()) {
         return hash_insert(nbr);
@@ -23,7 +23,7 @@ DahEdgeSet::insert(Neighbor nbr)
     // igs-lint: allow(hot-path-alloc) -- amortized neighbor-array growth
     array_.push_back(nbr);
     ++count_;
-    if (count_ >= kHashThreshold) {
+    if (count_ >= hash_threshold) {
         migrate_to_hash();
     }
     return r;
@@ -151,7 +151,9 @@ DahEdgeSet::sorted() const
     return result;
 }
 
-DegreeAwareHash::DegreeAwareHash(std::size_t num_vertices)
+DegreeAwareHash::DegreeAwareHash(std::size_t num_vertices,
+                                 const StoreTuning& tuning)
+    : tuning_(tuning)
 {
     ensure_vertices(num_vertices);
 }
@@ -182,7 +184,7 @@ DegreeAwareHash::apply_insert(VertexId v, Neighbor nbr, Direction dir)
     IGS_DCHECK(v < out_.size());
     auto& set = dir == Direction::kOut ? out_[v] : in_[v];
     // igs-lint: allow(hot-path-alloc) -- streamed insert is the workload
-    const ApplyResult r = set.insert(nbr);
+    const ApplyResult r = set.insert(nbr, tuning_.dah_hash_threshold);
     if (!r.found && dir == Direction::kOut) {
         num_edges_.fetch_add(1, std::memory_order_relaxed);
     }

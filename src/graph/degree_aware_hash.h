@@ -23,6 +23,7 @@
 #include "common/spinlock.h"
 #include "common/types.h"
 #include "graph/adjacency_list.h"
+#include "graph/store_tuning.h"
 
 namespace igs::graph {
 
@@ -32,11 +33,15 @@ namespace igs::graph {
  */
 class DahEdgeSet {
   public:
-    /** Degree at which a vertex migrates from array to hash storage. */
+    /** Default degree at which a vertex migrates from array to hash
+     *  storage; the effective value is runtime-tunable
+     *  (StoreTuning::dah_hash_threshold, same default). */
     static constexpr std::uint32_t kHashThreshold = 32;
 
-    /** See AdjacencyList::apply_insert. */
-    ApplyResult insert(Neighbor nbr);
+    /** See AdjacencyList::apply_insert.  `hash_threshold` is the
+     *  array -> hash migration degree for this set. */
+    ApplyResult insert(Neighbor nbr,
+                       std::uint32_t hash_threshold = kHashThreshold);
     /** See AdjacencyList::apply_remove. */
     ApplyResult remove(VertexId nbr_id);
 
@@ -94,7 +99,12 @@ class DahEdgeSet {
 /** Dynamic directed graph with degree-aware hashed edge sets. */
 class DegreeAwareHash {
   public:
-    explicit DegreeAwareHash(std::size_t num_vertices = 0);
+    explicit DegreeAwareHash(std::size_t num_vertices = 0,
+                             const StoreTuning& tuning = {});
+
+    /** Replace the migration threshold (affects future inserts only). */
+    void set_tuning(const StoreTuning& tuning) { tuning_ = tuning; }
+    const StoreTuning& tuning() const { return tuning_; }
 
     /** Movable (single-threaded only — not during a parallel update). */
     DegreeAwareHash(DegreeAwareHash&& other) noexcept
@@ -102,7 +112,7 @@ class DegreeAwareHash {
           out_locks_(std::move(other.out_locks_)),
           in_locks_(std::move(other.in_locks_)),
           latest_bid_(std::move(other.latest_bid_)),
-          latest_bid_size_(other.latest_bid_size_),
+          latest_bid_size_(other.latest_bid_size_), tuning_(other.tuning_),
           num_edges_(other.num_edges_.load(std::memory_order_relaxed))
     {
     }
@@ -162,6 +172,7 @@ class DegreeAwareHash {
     SpinlockArray in_locks_;
     std::unique_ptr<std::atomic<std::uint64_t>[]> latest_bid_;
     std::size_t latest_bid_size_ = 0;
+    StoreTuning tuning_;
     std::atomic<EdgeId> num_edges_{0};
 };
 

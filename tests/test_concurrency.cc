@@ -19,6 +19,8 @@
 #include "common/thread_pool.h"
 #include "gen/edge_stream.h"
 #include "graph/adjacency_list.h"
+#include "graph/hybrid_store.h"
+#include "graph/store_tuning.h"
 #include "stream/batch.h"
 #include "stream/reorder.h"
 #include "stream/update_context.h"
@@ -288,6 +290,62 @@ TEST(ConcurrencyUpdatePath, UscRealPathMatchesBaselineUnderContention)
     }
 
     graph::AdjacencyList usc(64);
+    {
+        ThreadPool pool(kThreads);
+        const stream::ReorderedBatch rb =
+            stream::reorder_batch(batch.edges(), pool);
+        stream::RealContext ctx(pool);
+        stream::apply_batch_usc(usc, batch, rb, ctx);
+    }
+
+    EXPECT_TRUE(usc.same_topology(baseline));
+    EXPECT_EQ(usc.num_edges(), baseline.num_edges());
+}
+
+// Same two contention properties on the three-tier hybrid store: tier
+// promotions happen under the per-vertex locks (baseline path) or run
+// ownership (USC path), so a parallel run must still match the serial
+// one exactly.
+
+TEST(ConcurrencyUpdatePath, HybridBaselineLockPathMatchesSerialUnderContention)
+{
+    const stream::EdgeBatch batch = contended_batch(60000, 79, 0.1);
+    graph::StoreTuning tuning;
+    tuning.hybrid_sorted_threshold = 16; // hubs cross both tiers
+
+    graph::HybridStore serial(64, tuning);
+    {
+        ThreadPool one(1);
+        stream::RealContext ctx(one);
+        stream::apply_batch_baseline(serial, batch, ctx);
+    }
+
+    graph::HybridStore parallel(64, tuning);
+    {
+        ThreadPool pool(kThreads);
+        stream::RealContext ctx(pool);
+        stream::apply_batch_baseline(parallel, batch, ctx);
+    }
+
+    EXPECT_TRUE(parallel.same_topology(serial));
+    EXPECT_EQ(parallel.num_edges(), serial.num_edges());
+    EXPECT_GT(parallel.tier_census().vertices[2], 0u);
+}
+
+TEST(ConcurrencyUpdatePath, HybridUscRealPathMatchesBaselineUnderContention)
+{
+    const stream::EdgeBatch batch = contended_batch(60000, 80, 0.1);
+    graph::StoreTuning tuning;
+    tuning.hybrid_sorted_threshold = 16;
+
+    graph::HybridStore baseline(64, tuning);
+    {
+        ThreadPool one(1);
+        stream::RealContext ctx(one);
+        stream::apply_batch_baseline(baseline, batch, ctx);
+    }
+
+    graph::HybridStore usc(64, tuning);
     {
         ThreadPool pool(kThreads);
         const stream::ReorderedBatch rb =

@@ -7,6 +7,10 @@
 #   tsan-pipeline  focused TSan deep-run of the depth>=2 pipeline tests
 #         (test_pipeline's concurrent publish/compute interleavings,
 #         DESIGN.md §11) repeated until-fail; shares the tsan build tree
+#   asan-hybrid / tsan-hybrid  focused deep-runs of the hybrid-store
+#         backend tests (tier promotions under the contended lock and
+#         USC paths, DESIGN.md §12) repeated until-fail; share the asan
+#         and tsan build trees respectively
 #   tsa   clang -Wthread-safety as errors (-DIGS_THREAD_SAFETY=ON);
 #         compile-only analysis, then the plain test suite.
 #         Skipped (with a notice) when no clang++ is on PATH — the
@@ -17,7 +21,8 @@
 #         lock-order cycles, hot-path escapes) + fixture self-test
 #
 # Usage:  tools/check_matrix.sh [leg ...]
-#         (default: lint analyze asan tsan tsan-pipeline tsa)
+#         (default: lint analyze asan asan-hybrid tsan tsan-pipeline
+#          tsan-hybrid tsa)
 #
 # Each leg builds in its own tree (build-check-<leg>) with
 # CMAKE_BUILD_TYPE=Debug so IGS_DCHECK and the Spinlock owner assertions
@@ -29,7 +34,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-    LEGS=(lint analyze asan tsan tsan-pipeline tsa)
+    LEGS=(lint analyze asan asan-hybrid tsan tsan-pipeline tsan-hybrid tsa)
 fi
 
 # TSan suppressions: intentionally empty unless a race is provably benign
@@ -116,6 +121,28 @@ for leg in "${LEGS[@]}"; do
         run_leg tsan-pipeline -DIGS_SANITIZE=thread
         unset IGS_CHECK_BDIR CTEST_EXTRA
         ;;
+      asan-hybrid)
+        # Focused ASan deep-run of the hybrid-store tests: tier
+        # promotions move edges between the inline record, the sorted
+        # heap array and the hash index, so the randomized and
+        # cross-backend suites are re-run until-fail to shake out
+        # lifetime bugs.  Reuses the asan tree (no extra build after
+        # `asan`).
+        IGS_CHECK_BDIR="$ROOT/build-check-asan"
+        CTEST_EXTRA=(-R 'Hybrid|CrossBackend' --repeat until-fail:3)
+        run_leg asan-hybrid -DIGS_SANITIZE=address,undefined
+        unset IGS_CHECK_BDIR CTEST_EXTRA
+        ;;
+      tsan-hybrid)
+        # Focused TSan deep-run of the hybrid backend under contention:
+        # the contended baseline/USC kernels over HybridStore and the
+        # backend-selectable engine (pipeline depth 2 included).  Reuses
+        # the tsan tree.
+        IGS_CHECK_BDIR="$ROOT/build-check-tsan"
+        CTEST_EXTRA=(-R 'Hybrid|CrossBackend' --repeat until-fail:3)
+        run_leg tsan-hybrid -DIGS_SANITIZE=thread
+        unset IGS_CHECK_BDIR CTEST_EXTRA
+        ;;
       tsa)
         if command -v clang++ >/dev/null 2>&1; then
             CC=clang CXX=clang++ run_leg tsa -DIGS_THREAD_SAFETY=ON \
@@ -127,8 +154,8 @@ for leg in "${LEGS[@]}"; do
         fi
         ;;
       *)
-        echo "unknown leg: $leg (known: lint analyze asan tsan" \
-             "tsan-pipeline tsa)" >&2
+        echo "unknown leg: $leg (known: lint analyze asan asan-hybrid" \
+             "tsan tsan-pipeline tsan-hybrid tsa)" >&2
         FAILED+=("$leg (unknown)")
         ;;
     esac
