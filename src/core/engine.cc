@@ -271,6 +271,10 @@ BasicRealTimeEngine<GraphT>::publish_epoch()
     const graph::SnapshotView view = snapshots_.view();
     if (core_.config().pipeline_depth >= 2) {
         inflight_done_.store(false, std::memory_order_release);
+        // The capture outlives this scope by design: publish_epoch joins
+        // the in-flight round (join_inflight above) before the next
+        // publish, so the captured view can never dangle.
+        // igs-lint: allow(snapshot-view-escape)
         inflight_ = std::thread([this, view]() {
             compute_fn_(view, inflight_work_);
             inflight_done_.store(true, std::memory_order_release);

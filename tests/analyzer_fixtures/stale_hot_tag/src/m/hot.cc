@@ -1,0 +1,7 @@
+// IGS_HOT_PATH
+// Fixture: this file is a hot-path root; its tag is valid.
+
+int run(int x)
+{
+    return x + 1;
+}

@@ -1,0 +1,8 @@
+// IGS_HOT_PATH
+// Fixture: tagged as hot, but no function here appears in the hot-path
+// call graph -> the tag is stale and must be reported.
+
+int helper(int x)
+{
+    return x * 2;
+}

@@ -1,0 +1,11 @@
+// Semantic fixture: a telemetry key violating the area.subsystem.name
+// naming scheme (wrong case, too few segments).
+struct Registry {
+    int counter(const char* name) { (void)name; return 0; }
+};
+void register_all(Registry& r) {
+    int ok = r.counter("core.app.events");
+    int bad = r.counter("App.Events");
+    (void)ok;
+    (void)bad;
+}

@@ -1,0 +1,20 @@
+// Semantic fixture: everything conforms — view used and dropped before
+// the next publish, telemetry key well-formed, backend surface intact.
+struct SnapshotView {
+    int epoch = 0;
+};
+struct SnapshotStore {
+    SnapshotView view() const { return SnapshotView{}; }
+    void publish() {}
+};
+struct Registry {
+    int counter(const char* name) { (void)name; return 0; }
+};
+int read_epoch(Registry& r) {
+    int batches = r.counter("core.app.batches");
+    SnapshotStore snapshots_;
+    const SnapshotView view = snapshots_.view();
+    int e = view.epoch;
+    snapshots_.publish();
+    return e + batches;
+}

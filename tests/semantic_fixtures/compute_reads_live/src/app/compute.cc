@@ -1,0 +1,17 @@
+// Semantic fixture: the compute callable registered via set_compute
+// mutates live adjacency state instead of reading its SnapshotView.
+struct SnapshotView {
+    int epoch = 0;
+};
+struct Graph {
+    void apply_insert(int u, int v) { (void)u; (void)v; }
+};
+struct Engine {
+    template <typename Fn> void set_compute(Fn fn) { (void)fn; }
+};
+void wire(Engine& e, Graph& g) {
+    e.set_compute([&g](const SnapshotView& view) {
+        (void)view;
+        g.apply_insert(1, 2);
+    });
+}

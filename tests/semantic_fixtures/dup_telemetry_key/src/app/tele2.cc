@@ -1,0 +1,14 @@
+// Semantic fixture: one telemetry key registered at two sites (and
+// with two different kinds) — the registry would merge both streams.
+struct Registry {
+    int counter(const char* name) { (void)name; return 0; }
+    int gauge(const char* name) { (void)name; return 0; }
+};
+void register_a(Registry& r) {
+    int a = r.counter("core.app.hits");
+    (void)a;
+}
+void register_b(Registry& r) {
+    int b = r.gauge("core.app.hits");
+    (void)b;
+}

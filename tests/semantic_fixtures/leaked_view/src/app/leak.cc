@@ -1,0 +1,24 @@
+// Semantic fixture: a SnapshotView stored beyond its producing scope
+// (member store) and captured by a lambda handed to a runner.
+struct SnapshotView {
+    int epoch = 0;
+};
+struct SnapshotStore {
+    SnapshotView view() const { return SnapshotView{}; }
+};
+struct Holder {
+    SnapshotStore snapshots_;
+    SnapshotView stash_;
+    void keep() {
+        const SnapshotView view = snapshots_.view();
+        stash_ = view;
+    }
+};
+template <typename Fn> void spawn(Fn fn) { fn(); }
+struct Runner {
+    SnapshotStore snapshots_;
+    void run() {
+        const SnapshotView view = snapshots_.view();
+        spawn([view]() { (void)view.epoch; });
+    }
+};

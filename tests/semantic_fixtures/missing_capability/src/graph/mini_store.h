@@ -1,0 +1,10 @@
+// Semantic fixture: the backend declares apply_coalesced in layers.toml
+// but no longer defines it (renamed to apply_bulk) — the engine's
+// `if constexpr (requires ...)` probe would silently take the fallback.
+#ifndef MINI_STORE_H
+#define MINI_STORE_H
+struct MiniStore {
+    void apply_insert(int u, int v) { (void)u; (void)v; }
+    void apply_bulk() {}
+};
+#endif

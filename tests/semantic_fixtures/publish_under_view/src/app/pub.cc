@@ -1,0 +1,15 @@
+// Semantic fixture: publish() runs while a view of the same store is
+// still in use afterwards (the classic stale-view bug).
+struct SnapshotView {
+    int epoch = 0;
+};
+struct SnapshotStore {
+    SnapshotView view() const { return SnapshotView{}; }
+    void publish() {}
+};
+int stale_read() {
+    SnapshotStore snapshots_;
+    const SnapshotView view = snapshots_.view();
+    snapshots_.publish();
+    return view.epoch;
+}

@@ -1,0 +1,9 @@
+// Semantic fixture: the golden JSON references a telemetry key that was
+// renamed in the source — the golden would never fail for it again.
+struct Registry {
+    int counter(const char* name) { (void)name; return 0; }
+};
+void register_all(Registry& r) {
+    int a = r.counter("core.app.events");
+    (void)a;
+}

@@ -19,10 +19,13 @@
 #   lint  tools/igs_lint.py repo rules + self-test (via ctest -R lint)
 #   analyze  tools/igs_analyzer.py whole-program rules (module-layer DAG,
 #         lock-order cycles, hot-path escapes) + fixture self-test
+#   semantic  tools/igs_semantic.py semantic passes (template-aware
+#         hot-path walk, snapshot lifetimes, backend contracts,
+#         telemetry-key registry) + fixture self-test
 #
 # Usage:  tools/check_matrix.sh [leg ...]
-#         (default: lint analyze asan asan-hybrid tsan tsan-pipeline
-#          tsan-hybrid tsa)
+#         (default: lint analyze semantic asan asan-hybrid tsan
+#          tsan-pipeline tsan-hybrid tsa)
 #
 # Each leg builds in its own tree (build-check-<leg>) with
 # CMAKE_BUILD_TYPE=Debug so IGS_DCHECK and the Spinlock owner assertions
@@ -34,7 +37,8 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-    LEGS=(lint analyze asan asan-hybrid tsan tsan-pipeline tsan-hybrid tsa)
+    LEGS=(lint analyze semantic asan asan-hybrid tsan tsan-pipeline
+          tsan-hybrid tsa)
 fi
 
 # TSan suppressions: intentionally empty unless a race is provably benign
@@ -104,6 +108,17 @@ for leg in "${LEGS[@]}"; do
             FAILED+=(analyze)
         fi
         ;;
+      semantic)
+        echo "=== [semantic] igs_semantic + self-test ==="
+        # No --compile-commands: the libclang frontend is optional and
+        # auto-detected; the lexical frontend covers everything else.
+        if python3 "$ROOT/tools/igs_semantic.py" --root "$ROOT" &&
+           python3 "$ROOT/tools/igs_semantic.py" --root "$ROOT" --self-test; then
+            PASSED+=(semantic)
+        else
+            FAILED+=(semantic)
+        fi
+        ;;
       asan)
         run_leg asan -DIGS_SANITIZE=address,undefined
         ;;
@@ -154,8 +169,8 @@ for leg in "${LEGS[@]}"; do
         fi
         ;;
       *)
-        echo "unknown leg: $leg (known: lint analyze asan asan-hybrid" \
-             "tsan tsan-pipeline tsan-hybrid tsa)" >&2
+        echo "unknown leg: $leg (known: lint analyze semantic asan" \
+             "asan-hybrid tsan tsan-pipeline tsan-hybrid tsa)" >&2
         FAILED+=("$leg (unknown)")
         ;;
     esac

@@ -107,7 +107,7 @@ NOT_A_FUNCTION = frozenset({
 ANALYZER_RULES = (
     "layer-inversion", "include-cycle", "lock-order-cycle",
     "hot-path-alloc", "hot-path-block", "hot-path-throw",
-    "stale-suppression",
+    "stale-hot-path-tag", "stale-suppression",
 )
 
 RULE_DESCRIPTIONS = {
@@ -126,6 +126,9 @@ RULE_DESCRIPTIONS = {
         "blocking primitive.",
     "hot-path-throw":
         "A function reachable from a hot-path root throws.",
+    "stale-hot-path-tag":
+        "A file carries the '// IGS_HOT_PATH' tag but none of its "
+        "functions appear in the hot-path call graph.",
     "stale-suppression":
         "An 'igs-lint: allow(...)' pragma for an analyzer rule no "
         "longer suppresses anything.",
@@ -632,6 +635,7 @@ class Analyzer:
                         parent[callee.key] = fn
                         worklist.append(callee)
 
+        self._hot_reached_rels = {fn.source.rel for fn in reached}
         by_key = {fn.key: fn for sf in self.sources.values()
                   for fn in sf.functions}
         seen_lines = set()
@@ -685,6 +689,33 @@ class Analyzer:
             return f"a hot-path root"
         return "reachable from hot root via " + " -> ".join(names)
 
+    # -- rule: stale-hot-path-tag ----------------------------------------
+
+    def check_stale_hot_tags(self):
+        """An `// IGS_HOT_PATH` tag arms igs_lint's per-line allocation
+        checks for the whole file; a tagged file none of whose functions
+        appear in the hot-path call graph is either mis-tagged or fell
+        out of the roots' reach (typically after a refactor moved the
+        kernel) — either way the tag no longer means what it claims.
+        Skipped when no [hot_paths] roots are configured (the walk is
+        vacuous and every tag would be noise)."""
+        if not self.config.roots:
+            return
+        reached = getattr(self, "_hot_reached_rels", set())
+        for rel, sf in sorted(self.sources.items()):
+            if not sf.is_hot_tagged or rel in reached:
+                continue
+            if not rel.startswith("src/"):
+                continue
+            tag_line = next(
+                (i + 1 for i, l in enumerate(sf.raw_lines)
+                 if HOT_PATH_TAG.match(l)), 1)
+            self.findings.append(Finding(
+                rel, tag_line, "stale-hot-path-tag",
+                f"'// IGS_HOT_PATH' tag but no function of {rel} is "
+                f"reachable from the [hot_paths] roots; retag or add "
+                f"the kernel to tools/layers.toml"))
+
     # -- rule: stale-suppression -----------------------------------------
 
     def check_stale_suppressions(self, suppressed):
@@ -726,6 +757,7 @@ class Analyzer:
         self.check_include_cycles()
         self.check_lock_order()
         self.check_hot_paths()
+        self.check_stale_hot_tags()
         suppressed = set()
         for f in self.findings:
             if f.rule == "stale-suppression":
@@ -791,43 +823,11 @@ def _sccs(graph):
 
 
 def write_sarif(path, findings, root):
-    rules = [{"id": rule,
-              "shortDescription": {"text": RULE_DESCRIPTIONS[rule]}}
-             for rule in ANALYZER_RULES]
-    results = []
-    for f in findings:
-        if f.suppressed:
-            continue
-        results.append({
-            "ruleId": f.rule,
-            "level": "error",
-            "message": {"text": f.message},
-            "locations": [{
-                "physicalLocation": {
-                    "artifactLocation": {"uri": f.path,
-                                         "uriBaseId": "SRCROOT"},
-                    "region": {"startLine": max(f.line, 1)},
-                },
-            }],
-        })
-    doc = {
-        "$schema": "https://raw.githubusercontent.com/oasis-tcs/"
-                   "sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
-        "version": "2.1.0",
-        "runs": [{
-            "tool": {"driver": {
-                "name": TOOL_NAME,
-                "informationUri":
-                    "https://example.invalid/igstream/tools/igs_analyzer",
-                "rules": rules,
-            }},
-            "originalUriBaseIds": {"SRCROOT": {"uri": "file://" + root}},
-            "results": results,
-        }],
-    }
-    with open(path, "w", encoding="utf-8") as f:
-        json.dump(doc, f, indent=2)
-        f.write("\n")
+    # Serialization lives in tools/semantic/sarif.py, shared with
+    # igs_semantic.py so both CI artifacts stay structurally identical.
+    from semantic import sarif as sarif_shared
+    sarif_shared.write_sarif(path, TOOL_NAME, findings, root,
+                             RULE_DESCRIPTIONS, ANALYZER_RULES)
 
 
 # --- self-test -----------------------------------------------------------
@@ -839,6 +839,7 @@ SELF_TEST_EXPECTATIONS = {
     "lock_order_cycle": {"lock-order-cycle": 2},
     "hot_path_escape": {"hot-path-alloc": 1, "hot-path-block": 1,
                         "hot-path-throw": 1},
+    "stale_hot_tag": {"stale-hot-path-tag": 1},
     "stale_suppression": {"stale-suppression": 1},
     "clean_ok": {},
 }

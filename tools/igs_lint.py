@@ -19,10 +19,10 @@ the compiler nor clang's thread-safety analysis can express:
   check-side-effect   IGS_CHECK/IGS_DCHECK/IGS_CHECK_MSG arguments must be
                       side-effect free: IGS_DCHECK compiles out under NDEBUG,
                       so a mutation inside it changes release behaviour.
-  atomic-memory-order In src/common, src/core, src/sim and src/stream every
-                      atomic operation spells its memory_order explicitly —
-                      the implicit seq_cst default hides the cost and the
-                      intent on hot paths.
+  atomic-memory-order Everywhere under src/ (common, core, sim, stream,
+                      graph, analytics) every atomic operation spells its
+                      memory_order explicitly — the implicit seq_cst
+                      default hides the cost and the intent on hot paths.
   header-guard        src/**/*.h guards follow IGS_<PATH>_H canonically.
   include-hygiene     Quoted includes are src-root-relative (or a sibling
                       file); no `..` traversal, no <bits/...> internals.
@@ -75,7 +75,8 @@ SIDE_EFFECT_PATTERNS = [
 ATOMIC_OPS = re.compile(
     r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or"
     r"|fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\(")
-ATOMIC_SCOPE = ("src/common/", "src/core/", "src/sim/", "src/stream/")
+ATOMIC_SCOPE = ("src/common/", "src/core/", "src/sim/", "src/stream/",
+                "src/graph/", "src/analytics/")
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 

@@ -1,0 +1,145 @@
+"""Optional libclang frontend.
+
+When `clang.cindex` is importable (CI installs a pinned libclang; the
+local toolchain may not ship the Python bindings), this module parses
+the real translation units listed in compile_commands.json and
+cross-validates the ast_lite model against the compiler's view: class
+member surfaces, field types, and virtual-ness.  Discrepancies are
+recorded as frontend notes (and missing members are grafted into the
+model) so the passes run over compiler-verified declarations.
+
+When libclang is unavailable the import fails gracefully and the driver
+stays on the ast_lite frontend — same model shape, same passes.
+"""
+
+import json
+import os
+
+from .model import ClassInfo, FunctionInfo
+
+
+def available():
+    try:
+        import clang.cindex  # noqa: F401
+        return True
+    except Exception:
+        return False
+
+
+def _index():
+    import clang.cindex as ci
+    lib = os.environ.get("IGS_LIBCLANG")
+    if lib:
+        try:
+            ci.Config.set_library_file(lib)
+        except Exception:
+            pass
+    return ci, ci.Index.create()
+
+
+def load_compile_commands(path):
+    """[(file, [args])] from a compile_commands.json."""
+    with open(path, encoding="utf-8") as f:
+        db = json.load(f)
+    out = []
+    for e in db:
+        args = e.get("arguments")
+        if not args:
+            args = e.get("command", "").split()
+        # Drop the compiler, the input file, and -o/-c plumbing.
+        keep = []
+        skip = False
+        for a in args[1:]:
+            if skip:
+                skip = False
+                continue
+            if a in ("-o", "-c"):
+                skip = a == "-o"
+                continue
+            if a == e.get("file") or a.endswith(e.get("file", "\0")):
+                continue
+            keep.append(a)
+        out.append((os.path.join(e.get("directory", "."), e["file"]),
+                    keep))
+    return out
+
+
+def validate(model, compile_commands, limit=None):
+    """Parse TUs with libclang and reconcile the model.  Returns the
+    number of TUs parsed, or 0 when libclang is unavailable."""
+    if not available():
+        model.frontend_notes.append("libclang unavailable; ast_lite only")
+        return 0
+    ci, index = _index()
+    tus = load_compile_commands(compile_commands)
+    if limit:
+        tus = tus[:limit]
+    parsed = 0
+    for path, args in tus:
+        if not os.path.exists(path):
+            continue
+        try:
+            tu = index.parse(path, args=args)
+        except Exception as exc:  # noqa: BLE001 - frontend stays optional
+            model.frontend_notes.append(f"libclang parse failed for "
+                                        f"{path}: {exc}")
+            continue
+        parsed += 1
+        _reconcile(model, ci, tu.cursor)
+    if parsed:
+        model.frontend = "clang+ast_lite"
+    return parsed
+
+
+def _reconcile(model, ci, cursor):
+    K = ci.CursorKind
+    for c in cursor.walk_preorder():
+        if c.kind not in (K.CLASS_DECL, K.STRUCT_DECL,
+                          K.CLASS_TEMPLATE):
+            continue
+        if not c.is_definition():
+            continue
+        loc = c.location
+        if loc.file is None:
+            continue
+        rel = os.path.relpath(loc.file.name, model.root)
+        if rel.startswith(".."):
+            continue
+        known = model.find_class(c.spelling)
+        if known is None:
+            fm = model.files.get(rel)
+            if fm is None:
+                continue
+            known = ClassInfo(c.spelling, "", fm, loc.line,
+                              synthetic=False)
+            model.add_class(known)
+            model.frontend_notes.append(
+                f"libclang found class {c.spelling} ({rel}) missed by "
+                f"ast_lite")
+        for m in c.get_children():
+            if m.kind in (K.CXX_METHOD, K.FUNCTION_TEMPLATE,
+                          K.CONSTRUCTOR, K.DESTRUCTOR):
+                if m.spelling not in known.members:
+                    fm = model.files.get(rel, known.file)
+                    fn = FunctionInfo(m.spelling, fm, m.location.line,
+                                      cls=known,
+                                      virtual=bool(
+                                          getattr(m, "is_virtual_method",
+                                                  lambda: False)()))
+                    known.add_member(fn)
+                    model.add_function(fn)
+                    model.frontend_notes.append(
+                        f"libclang added member {c.spelling}::"
+                        f"{m.spelling} missed by ast_lite")
+                elif getattr(m, "is_virtual_method", lambda: False)():
+                    for fn in known.members[m.spelling]:
+                        fn.virtual = True
+            elif m.kind == K.FIELD_DECL:
+                if m.spelling not in known.fields:
+                    known.fields[m.spelling] = m.type.spelling.split(
+                        "<")[0].split("::")[-1].strip()
+                    known.field_lines[m.spelling] = m.location.line
+                    known.field_types[m.spelling] = m.type.spelling
+                    model.frontend_notes.append(
+                        f"libclang added field {c.spelling}::"
+                        f"{m.spelling} missed by ast_lite")

@@ -1,0 +1,31 @@
+"""Analysis passes of the semantic analyzer.
+
+Each pass module exposes `run(model, config, findings)` where `config`
+is the parsed tools/layers.toml document and `findings` the shared list
+of model.Finding.  Passes mark pragma-suppressed findings themselves
+(shared allow() mechanism below) so the driver only applies the audited
+baseline and serializes.
+"""
+
+import re
+
+ALLOW_PRAGMA = re.compile(r"igs-lint:\s*allow\(([a-z-]+)")
+
+
+def allowed(fm, rule, lineno):
+    """True when the finding's line (or the line above) carries an
+    `igs-lint: allow(<rule>)` pragma — the same mechanism igs_lint and
+    igs_analyzer honour, so one audited pragma silences every tool."""
+    for ln in (lineno, lineno - 1):
+        m = ALLOW_PRAGMA.search(fm.comments.get(ln, ""))
+        if m and m.group(1) == rule:
+            return True
+    return False
+
+
+def add(findings, fm, line, rule, message):
+    from ..model import Finding
+    f = Finding(fm.rel, line, rule, message)
+    f.suppressed = allowed(fm, rule, line)
+    findings.append(f)
+    return f

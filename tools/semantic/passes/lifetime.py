@@ -1,0 +1,160 @@
+"""Epoch/snapshot lifetime checker (pipeline one-epoch-ahead invariant).
+
+A SnapshotView is a cheap copy that stays valid only until the next
+SnapshotStore::publish (DESIGN.md §11).  Three rules police that
+contract:
+
+  snapshot-view-escape   a view-typed local leaves its producing scope:
+                         stored into a member, captured by a lambda, or
+                         returned.  The engine's publish_epoch capture is
+                         the one sanctioned site (the engine joins the
+                         in-flight compute round before every publish)
+                         and carries an audited allow() pragma.
+  view-invalidated-use   publish()/a live-store mutation runs between a
+                         view's creation and its last use in the same
+                         function — the classic stale-view bug the
+                         paper's pipelined mode must never hit.
+  compute-reads-live     the callable registered via set_compute touches
+                         mutable adjacency state instead of its
+                         SnapshotView argument; the compute stage runs
+                         overlapped with the next epoch's updates, so
+                         any live read is a data race.
+"""
+
+from . import add
+from .. import ast_lite
+
+
+def run(model, config, findings):
+    cfg = config.get("semantic", {}).get("lifetime", {})
+    view_types = set(cfg.get("view_types", ("SnapshotView",)))
+    producers = set(cfg.get("producers", ()))
+    invalidators = set(cfg.get("invalidators", ()))
+    mutators = set(cfg.get("live_mutators", ()))
+    registrars = set(cfg.get("compute_registrars", ()))
+
+    for fn in model.functions:
+        if fn.body is None or not fn.file.rel.startswith("src/"):
+            continue
+        toks = fn.file.tokens
+        lo, hi = fn.body
+        views = _view_locals(toks, lo, hi, view_types, producers)
+        if views:
+            _check_escapes(model, fn, views, findings)
+            _check_invalidated(fn, views, invalidators, mutators, findings)
+        _check_compute(fn, registrars, mutators, view_types, findings)
+
+
+def _view_locals(toks, lo, hi, view_types, producers):
+    """Locals holding a snapshot view: typed as one, or `auto` initialized
+    from a producer call (snapshots_.view())."""
+    out = []
+    for v in ast_lite.iter_locals(toks, lo, hi):
+        if v.type_base in view_types:
+            out.append(v)
+        elif v.type_base == "auto":
+            for c in ast_lite.iter_calls(toks, v.init_lo, v.init_hi + 1):
+                if c.name in producers and c.receiver is not None:
+                    out.append(v)
+                    break
+    return out
+
+
+def _last_use(toks, hi, name, after):
+    last = -1
+    for k in range(after, hi):
+        t = toks[k]
+        if t.kind == "id" and t.text == name:
+            last = k
+    return last
+
+
+def _check_escapes(model, fn, views, findings):
+    toks = fn.file.tokens
+    lo, hi = fn.body
+    names = {v.name: v for v in views}
+    # Lambda capture: by name, or a default capture whose body uses it.
+    for lam in ast_lite.iter_lambdas(toks, lo, hi):
+        cap_ids = {toks[k].text for k in range(lam.cap_lo, lam.cap_hi)
+                   if toks[k].kind == "id"}
+        cap_default = any(toks[k].kind == "punct" and
+                          toks[k].text in ("&", "=")
+                          for k in range(lam.cap_lo, lam.cap_hi))
+        body_ids = {toks[k].text for k in range(lam.body_lo, lam.body_hi)
+                    if toks[k].kind == "id"}
+        for name, v in names.items():
+            if v.decl_idx >= lam.body_lo:
+                continue            # declared after (or inside) the lambda
+            if name in cap_ids or (cap_default and name in body_ids):
+                add(findings, fn.file, toks[lam.cap_lo].line
+                    if lam.cap_lo < len(toks) else lam.line,
+                    "snapshot-view-escape",
+                    f"SnapshotView '{name}' (declared line {v.line}) "
+                    f"captured by a lambda in '{fn.qual_name}'; the view "
+                    f"is only valid until the next publish()")
+    k = lo
+    while k < hi:
+        t = toks[k]
+        if t.kind == "id" and t.text in names:
+            v = names[t.text]
+            prev = toks[k - 1] if k > lo else None
+            nxt = toks[k + 1] if k + 1 < hi else None
+            # return <view>;  (member reads like `return view.epoch;`
+            # do not escape the view itself)
+            if prev is not None and prev.kind == "id" and \
+                    prev.text == "return" and k != v.decl_idx and \
+                    nxt is not None and nxt.kind == "punct" and \
+                    nxt.text == ";":
+                add(findings, fn.file, t.line, "snapshot-view-escape",
+                    f"SnapshotView '{t.text}' returned from "
+                    f"'{fn.qual_name}'; the view is only valid until the "
+                    f"next publish()")
+            # member_ = <view>;
+            if prev is not None and prev.kind == "punct" and \
+                    prev.text == "=" and k - 2 >= lo and \
+                    toks[k - 2].kind == "id" and k != v.decl_idx:
+                target = toks[k - 2].text
+                if fn.cls is not None and target in fn.cls.fields:
+                    add(findings, fn.file, t.line, "snapshot-view-escape",
+                        f"SnapshotView '{t.text}' stored into member "
+                        f"'{target}' of {fn.cls.name} in '{fn.qual_name}'; "
+                        f"the view is only valid until the next publish()")
+        k += 1
+
+
+def _check_invalidated(fn, views, invalidators, mutators, findings):
+    toks = fn.file.tokens
+    lo, hi = fn.body
+    watched = invalidators | mutators
+    for v in views:
+        last = _last_use(toks, hi, v.name, v.init_hi)
+        if last < 0:
+            continue
+        for c in ast_lite.iter_calls(toks, v.init_hi, last):
+            if c.name in watched and c.receiver is not None and \
+                    c.receiver != v.name:
+                kind = "invalidates" if c.name in invalidators \
+                    else "mutates live graph state under"
+                add(findings, fn.file, c.line, "view-invalidated-use",
+                    f"'{c.receiver}.{c.name}()' {kind} SnapshotView "
+                    f"'{v.name}' (declared line {v.line}) which is still "
+                    f"used at line {toks[last].line} in '{fn.qual_name}'")
+
+
+def _check_compute(fn, registrars, mutators, view_types, findings):
+    toks = fn.file.tokens
+    lo, hi = fn.body
+    for c in ast_lite.iter_calls(toks, lo, hi):
+        if c.name not in registrars:
+            continue
+        for lam in ast_lite.iter_lambdas(toks, c.arg_lo, c.arg_hi + 1):
+            # Parameter names of view type are the sanctioned input.
+            for inner in ast_lite.iter_calls(toks, lam.body_lo,
+                                             lam.body_hi):
+                if inner.name in mutators:
+                    add(findings, fn.file, inner.line,
+                        "compute-reads-live",
+                        f"compute callable registered via '{c.name}()' "
+                        f"calls live-store mutator '{inner.name}()'; the "
+                        f"compute stage overlaps the next epoch's updates "
+                        f"and must only read its SnapshotView argument")

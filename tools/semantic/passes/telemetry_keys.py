@@ -1,0 +1,117 @@
+"""Telemetry key registry: uniqueness, naming scheme, golden cross-check.
+
+Every counter/gauge/histogram/phase registration whose first argument is
+a string literal enters the registry.  Three rules:
+
+  telemetry-key-naming       keys follow `area.subsystem.name` — lowercase
+                             segments of [a-z0-9_], at least three, with
+                             the area drawn from layers.toml
+                             [semantic] telemetry_areas.
+  telemetry-key-collision    the same key registered at two different
+                             sites (two subsystems fighting over one
+                             name: the registry would silently merge
+                             their counts).
+  telemetry-key-stale-golden a golden JSON under tests/golden/ references
+                             a telemetry key no source file registers —
+                             the golden would never fail again for that
+                             counter (typically the aftermath of a key
+                             rename).
+"""
+
+import json
+import os
+import re
+
+from . import add
+from .. import ast_lite
+from ..model import Finding
+
+KINDS = ("counter", "gauge", "histogram", "phase")
+SEGMENT = re.compile(r"^[a-z0-9_]+$")
+GOLDEN_SECTIONS = {"counters": "counter", "gauges": "gauge",
+                   "histograms": "histogram"}
+
+
+def run(model, config, findings):
+    sem = config.get("semantic", {})
+    areas = set(sem.get("telemetry_areas", ()))
+
+    registry = {}     # key -> [(kind, FileModel, line)]
+    for fm in model.files.values():
+        if not fm.rel.startswith("src/"):
+            continue
+        toks = fm.tokens
+        for c in ast_lite.iter_calls(toks, 0, len(toks)):
+            if c.name not in KINDS or c.arg_lo >= len(toks):
+                continue
+            t = toks[c.arg_lo]
+            if t.kind != "str":
+                continue
+            key = _literal_value(t.text)
+            if key is None:
+                continue
+            registry.setdefault(key, []).append((c.name, fm, t.line))
+
+    for key, sites in sorted(registry.items()):
+        kind, fm, line = sites[0]
+        segs = key.split(".")
+        if len(segs) < 3 or not all(SEGMENT.match(s) for s in segs) or \
+                (areas and segs[0] not in areas):
+            add(findings, fm, line, "telemetry-key-naming",
+                f"telemetry key '{key}' does not follow "
+                f"area.subsystem.name with area in "
+                f"{sorted(areas)} (lowercase [a-z0-9_] segments)")
+        for other_kind, ofm, oline in sites[1:]:
+            add(findings, ofm, oline, "telemetry-key-collision",
+                f"telemetry key '{key}' already registered as a {kind} "
+                f"at {fm.rel}:{line}; the registry would merge both "
+                f"streams under one name")
+
+    _check_goldens(model, registry, findings)
+    model.telemetry_registry = {k: [(kind, fm.rel, line)
+                                    for kind, fm, line in v]
+                                for k, v in registry.items()}
+    return registry
+
+
+def _literal_value(text):
+    q = text.find('"')
+    if q < 0 or not text.endswith('"') or len(text) < q + 2:
+        return None
+    return text[q + 1:-1]
+
+
+def _check_goldens(model, registry, findings):
+    golden_dir = os.path.join(model.root, "tests", "golden")
+    if not os.path.isdir(golden_dir):
+        return
+    kinds_by_key = {}
+    for key, sites in registry.items():
+        kinds_by_key[key] = {kind for kind, _fm, _line in sites}
+    for name in sorted(os.listdir(golden_dir)):
+        if not name.endswith(".json"):
+            continue
+        rel = f"tests/golden/{name}"
+        try:
+            with open(os.path.join(golden_dir, name),
+                      encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError):
+            continue
+        tel = doc.get("telemetry", {})
+        for section, kind in GOLDEN_SECTIONS.items():
+            for key in sorted(tel.get(section, {})):
+                kinds = kinds_by_key.get(key)
+                if kinds is None:
+                    f = Finding(rel, 1, "telemetry-key-stale-golden",
+                                f"golden references telemetry key '{key}' "
+                                f"(under telemetry.{section}) that no "
+                                f"source file registers — renamed key?")
+                    findings.append(f)
+                elif kind not in kinds:
+                    f = Finding(rel, 1, "telemetry-key-stale-golden",
+                                f"golden lists telemetry key '{key}' "
+                                f"under telemetry.{section} but the "
+                                f"source registers it as a "
+                                f"{'/'.join(sorted(kinds))}")
+                    findings.append(f)
