@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Incremental-analytics policy harness (DESIGN.md §14).  Replays the
+ * ingest -> hand-off -> compute loop with the memoized kernel bundle
+ * under each IncrementalPolicy (full-rerun / delta-propagate / auto)
+ * and compares the modeled compute work: per epoch the bundle's
+ * ComputeStats are booked into SimEngine::note_compute_round, so the
+ * pipeline-overlap model also reports how much update work each policy
+ * hides.  Streams: two Table-2 datasets (wiki: high-degree bursty;
+ * lj: low-degree adverse) and the adversarial deletion-stress stream
+ * (delete bursts + same-edge reinserts, gen/deletion_stress.h).
+ *
+ * On the stress stream (small enough to afford from-scratch references
+ * every epoch) the harness also audits results: SSSP/BFS mismatches
+ * against static_sssp/bfs_distances are counted exactly (pinned zero in
+ * the golden set) and PageRank is checked within tolerance.
+ *
+ * Batch counts are pinned — IGS_BENCH_SCALE deliberately has no effect —
+ * so `--json` output is a deterministic function of the code and is
+ * pinned as tests/golden/golden_incremental.json in `ctest -L golden`.
+ *
+ * Usage: bench_incremental [--set=golden] [--json=<path>]
+ */
+#include "bench_support.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "analytics/incremental/analytics.h"
+#include "analytics/pagerank.h"
+#include "analytics/sssp.h"
+#include "analytics/traversal.h"
+#include "gen/datasets.h"
+#include "gen/deletion_stress.h"
+#include "stream/batch.h"
+#include "stream/compute_policy.h"
+
+namespace {
+
+using namespace igs;
+using analytics::incremental::IncrementalAnalytics;
+using analytics::incremental::IncrementalConfig;
+using stream::IncrementalPolicy;
+
+/** One pinned replay: a stream source under one compute policy. */
+struct Run {
+    const char* source; // Table-2 short name, or "stress"
+    IncrementalPolicy policy;
+    std::size_t batch_size;
+    std::size_t num_batches;
+};
+
+struct BenchSet {
+    const char* name;
+    std::vector<Run> runs;
+};
+
+/** Per-epoch slice of one replay. */
+struct EpochRow {
+    EpochId epoch = 0;
+    bool delta = false;
+    double dirty_fraction = 0.0;
+    double delete_ratio = 0.0;
+    std::uint64_t iterations = 0;
+    std::uint64_t traversals = 0;
+    std::uint64_t seeds = 0;
+    Cycles cycles = 0;
+};
+
+/** Totals of one replay. */
+struct PolicyResult {
+    std::vector<EpochRow> epochs;
+    std::uint64_t delta_epochs = 0;
+    analytics::ComputeStats work;
+    Cycles compute_cycles = 0;
+    Cycles update_cycles = 0;
+    Cycles hidden_cycles = 0;
+    // Result audit (stress runs only; references are from-scratch runs).
+    bool audited = false;
+    std::uint64_t dist_mismatches = 0;
+    std::uint64_t hop_mismatches = 0;
+    double pagerank_max_abs_err = 0.0;
+    bool pagerank_within_tol = true;
+};
+
+/** Audit threshold for delta-propagated PageRank vs the from-scratch
+ *  fixpoint at the stress runs' 1e-9 kernel tolerance. */
+constexpr double kPagerankAuditTol = 1e-6;
+
+/** The golden set pins every sweep; keep each run well under a second. */
+const std::vector<BenchSet>&
+sets()
+{
+    static const std::vector<BenchSet> kSets = {
+        {"golden",
+         {
+             {"wiki", IncrementalPolicy::kFullRerun, 2000, 6},
+             {"wiki", IncrementalPolicy::kDeltaPropagate, 2000, 6},
+             {"wiki", IncrementalPolicy::kAuto, 2000, 6},
+             {"lj", IncrementalPolicy::kFullRerun, 2000, 6},
+             {"lj", IncrementalPolicy::kDeltaPropagate, 2000, 6},
+             {"lj", IncrementalPolicy::kAuto, 2000, 6},
+             {"stress", IncrementalPolicy::kFullRerun, 256, 12},
+             {"stress", IncrementalPolicy::kDeltaPropagate, 256, 12},
+             {"stress", IncrementalPolicy::kAuto, 256, 12},
+         }},
+    };
+    return kSets;
+}
+
+IncrementalConfig
+bundle_config(const Run& run)
+{
+    IncrementalConfig cfg;
+    cfg.policy.policy = run.policy;
+    if (std::strcmp(run.source, "stress") == 0) {
+        // Small graph: afford a tight fixpoint so the audit threshold
+        // sits far above the kernels' residual truncation.
+        cfg.pagerank.tolerance = 1e-9;
+        cfg.pagerank.max_iterations = 300;
+    }
+    return cfg;
+}
+
+/**
+ * Replay the pipeline loop against any generator with `take(n)`.  OCA is
+ * disabled so every batch runs a compute round: the per-epoch series then
+ * isolates the policy effect instead of mixing in aggregation decisions.
+ */
+template <typename Gen>
+PolicyResult
+replay(Gen& genr, std::size_t num_vertices, const Run& run, bool audit)
+{
+    core::EngineConfig cfg;
+    cfg.policy = core::UpdatePolicy::kAbrUsc;
+    cfg.oca.enabled = false;
+    cfg.pipeline_depth = 2;
+    cfg.incremental.policy = run.policy;
+    sim::SimEngine engine(cfg, sim::MachineParams{}, sim::SwCostParams{},
+                          sim::HauCostParams{}, num_vertices);
+    IncrementalAnalytics bundle(bundle_config(run));
+    const analytics::ComputeCostParams ccp;
+
+    PolicyResult out;
+    for (std::uint64_t k = 1; k <= run.num_batches; ++k) {
+        stream::EdgeBatch batch;
+        batch.id = k;
+        batch.set_edges(genr.take(run.batch_size));
+        const core::BatchReport rep = engine.ingest(batch);
+        out.update_cycles += rep.update.cycles;
+        out.hidden_cycles += rep.update_hidden_cycles;
+        if (!engine.compute_due()) {
+            continue;
+        }
+        const core::PendingWork work = engine.take_pending_work();
+        const auto decision = bundle.on_epoch(engine.graph(), work);
+        const Cycles cycles = decision.work.cycles(ccp);
+        engine.note_compute_round(cycles, work.epoch);
+        out.compute_cycles += cycles;
+        out.work += decision.work;
+        out.delta_epochs += decision.delta ? 1 : 0;
+        out.epochs.push_back({work.epoch, decision.delta,
+                              decision.stats.dirty_fraction,
+                              decision.stats.delete_ratio,
+                              decision.work.iterations,
+                              decision.work.traversals, decision.work.seeds,
+                              cycles});
+        if (audit) {
+            out.audited = true;
+            const auto& g = engine.graph();
+            const auto dist = analytics::static_sssp(g, 0);
+            const auto hops = analytics::bfs_distances(g, 0);
+            for (std::size_t v = 0; v < dist.size(); ++v) {
+                out.dist_mismatches +=
+                    bundle.sssp().distances()[v] != dist[v] ? 1 : 0;
+                out.hop_mismatches +=
+                    bundle.bfs().hops()[v] != hops[v] ? 1 : 0;
+            }
+            const auto ranks =
+                analytics::static_pagerank(g, bundle.config().pagerank);
+            for (std::size_t v = 0; v < ranks.size(); ++v) {
+                out.pagerank_max_abs_err =
+                    std::max(out.pagerank_max_abs_err,
+                             std::abs(bundle.pagerank().ranks()[v] -
+                                      ranks[v]));
+            }
+        }
+    }
+    out.pagerank_within_tol = out.pagerank_max_abs_err <= kPagerankAuditTol;
+    return out;
+}
+
+PolicyResult
+run_one(const Run& run)
+{
+    if (std::strcmp(run.source, "stress") == 0) {
+        gen::DeletionStressModel m;
+        m.num_vertices = 1u << 12;
+        m.build_edges = 1024;
+        m.burst = run.batch_size;
+        m.seed = 0xDE1E7E;
+        gen::DeletionStressGenerator genr(m);
+        return replay(genr, m.num_vertices, run, /*audit=*/true);
+    }
+    const gen::DatasetSpec& ds = gen::find_dataset(run.source);
+    auto genr = ds.make_generator();
+    return replay(genr, ds.model.num_vertices, run, /*audit=*/false);
+}
+
+/**
+ * Dedicated exporter (same rationale as bench_pipeline_overlap: the
+ * policy series is not the shared per-batch record shape), same
+ * top-level schema: schema_version / experiment / host / streams /
+ * telemetry, plus a per-dataset policy summary.
+ */
+void
+write_json(const std::string& path, const char* set_name,
+           const std::vector<Run>& runs,
+           const std::vector<PolicyResult>& results, const Timer& wall)
+{
+    telemetry::JsonWriter w(2);
+    w.begin_object();
+    w.kv("schema_version", bench::JsonSink::kSchemaVersion);
+    w.kv("experiment", "incremental_policy");
+    w.key("host").begin_object();
+    w.kv("bench_scale", bench::bench_scale());
+    if (const char* e = std::getenv("IGS_BENCH_SCALE")) {
+        w.kv("bench_scale_env", e);
+    } else {
+        w.key("bench_scale_env").null();
+    }
+    w.kv("wall_seconds", wall.seconds());
+    w.end_object();
+    w.kv("set", set_name);
+    w.key("streams").begin_array();
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const Run& r = runs[i];
+        const PolicyResult& res = results[i];
+        w.begin_object();
+        w.kv("dataset", r.source);
+        w.kv("policy", stream::to_string(r.policy));
+        w.kv("batch_size", static_cast<std::uint64_t>(r.batch_size));
+        w.kv("epochs", static_cast<std::uint64_t>(res.epochs.size()));
+        w.kv("delta_epochs", res.delta_epochs);
+        w.kv("iterations", res.work.iterations);
+        w.kv("activations", res.work.activations);
+        w.kv("traversals", res.work.traversals);
+        w.kv("seeds", res.work.seeds);
+        w.kv("rounds", res.work.rounds);
+        w.kv("compute_cycles", static_cast<std::uint64_t>(res.compute_cycles));
+        w.kv("update_cycles", static_cast<std::uint64_t>(res.update_cycles));
+        w.kv("hidden_cycles", static_cast<std::uint64_t>(res.hidden_cycles));
+        w.kv("audited", res.audited);
+        if (res.audited) {
+            w.kv("dist_mismatches", res.dist_mismatches);
+            w.kv("hop_mismatches", res.hop_mismatches);
+            w.kv("pagerank_within_tol", res.pagerank_within_tol);
+        }
+        w.key("epoch_series").begin_array();
+        for (const EpochRow& e : res.epochs) {
+            w.begin_object();
+            w.kv("epoch", static_cast<std::uint64_t>(e.epoch));
+            w.kv("mode", e.delta ? "delta" : "full");
+            w.kv("dirty_fraction", e.dirty_fraction);
+            w.kv("delete_ratio", e.delete_ratio);
+            w.kv("iterations", e.iterations);
+            w.kv("traversals", e.traversals);
+            w.kv("seeds", e.seeds);
+            w.kv("cycles", static_cast<std::uint64_t>(e.cycles));
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+
+    // Per-dataset policy comparison: the acceptance headline is that
+    // kAuto's modeled compute never exceeds kFullRerun's.
+    w.key("summary").begin_array();
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (runs[i].policy != IncrementalPolicy::kFullRerun) {
+            continue;
+        }
+        Cycles full = results[i].compute_cycles;
+        Cycles del = 0;
+        Cycles aut = 0;
+        for (std::size_t j = 0; j < runs.size(); ++j) {
+            if (std::strcmp(runs[j].source, runs[i].source) != 0) {
+                continue;
+            }
+            if (runs[j].policy == IncrementalPolicy::kDeltaPropagate) {
+                del = results[j].compute_cycles;
+            } else if (runs[j].policy == IncrementalPolicy::kAuto) {
+                aut = results[j].compute_cycles;
+            }
+        }
+        w.begin_object();
+        w.kv("dataset", runs[i].source);
+        w.kv("full_cycles", static_cast<std::uint64_t>(full));
+        w.kv("delta_cycles", static_cast<std::uint64_t>(del));
+        w.kv("auto_cycles", static_cast<std::uint64_t>(aut));
+        w.kv("auto_not_worse", aut <= full);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("telemetry").raw(telemetry::to_json(0));
+    w.end_object();
+
+    const std::string doc = w.take();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Timer wall;
+    std::string json_path;
+    const char* set_name = "golden";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
+        } else if (std::strncmp(argv[i], "--set=", 6) == 0) {
+            set_name = argv[i] + 6;
+        }
+    }
+    const BenchSet* set = nullptr;
+    for (const BenchSet& s : sets()) {
+        if (s.name == std::string(set_name)) {
+            set = &s;
+        }
+    }
+    if (set == nullptr) {
+        std::fprintf(stderr,
+                     "usage: bench_incremental [--set=<name>] "
+                     "[--json=<path>]\nsets:");
+        for (const BenchSet& s : sets()) {
+            std::fprintf(stderr, " %s", s.name);
+        }
+        std::fprintf(stderr, "\n");
+        return 2;
+    }
+
+    bench::banner("incremental analytics policy",
+                  "DESIGN.md §14 (delta propagation from dirty sets; not "
+                  "a paper figure)",
+                  set->name);
+    TextTable t({"source", "policy", "epochs", "delta", "iters", "Mtrav",
+                 "seeds", "cmp Mcyc", "hidden Mcyc"});
+    std::vector<PolicyResult> results;
+    results.reserve(set->runs.size());
+    for (const Run& r : set->runs) {
+        results.push_back(run_one(r));
+        const PolicyResult& res = results.back();
+        t.row()
+            .cell(r.source)
+            .cell(stream::to_string(r.policy))
+            .cell(static_cast<std::uint64_t>(res.epochs.size()))
+            .cell(res.delta_epochs)
+            .cell(res.work.iterations)
+            .cell(static_cast<double>(res.work.traversals) / 1e6)
+            .cell(res.work.seeds)
+            .cell(static_cast<double>(res.compute_cycles) / 1e6)
+            .cell(static_cast<double>(res.hidden_cycles) / 1e6);
+    }
+    t.print();
+
+    if (!json_path.empty()) {
+        write_json(json_path, set->name, set->runs, results, wall);
+    }
+    return 0;
+}

@@ -36,6 +36,10 @@ struct ComputeStats {
     std::uint64_t traversals = 0;
     std::uint64_t rounds = 0;
     std::uint64_t iterations = 0;
+    /** Vertices seeded into an incremental round's initial frontier
+     *  (DESIGN.md §14).  Attribution only — each seed's processing is
+     *  already counted as an activation, so `cycles()` ignores it. */
+    std::uint64_t seeds = 0;
 
     ComputeStats&
     operator+=(const ComputeStats& o)
@@ -44,6 +48,7 @@ struct ComputeStats {
         traversals += o.traversals;
         rounds += o.rounds;
         iterations += o.iterations;
+        seeds += o.seeds;
         return *this;
     }
 
@@ -65,6 +70,7 @@ class ComputeMeter {
     void traverse(std::uint64_t n = 1) { stats_.traversals += n; }
     void round() { ++stats_.rounds; }
     void iteration() { ++stats_.iterations; }
+    void seed(std::uint64_t n = 1) { stats_.seeds += n; }
 
     /**
      * Start a round attributed to snapshot epoch `epoch` (pipeline mode;

@@ -171,6 +171,7 @@ class IncrementalPageRank {
         delta.traversals -= before.traversals;
         delta.rounds -= before.rounds;
         delta.iterations -= before.iterations;
+        delta.seeds -= before.seeds;
         return delta;
     }
 

@@ -233,6 +233,7 @@ class IncrementalSssp {
         delta.traversals -= before.traversals;
         delta.rounds -= before.rounds;
         delta.iterations -= before.iterations;
+        delta.seeds -= before.seeds;
         return delta;
     }
 

@@ -37,6 +37,7 @@
 #include "graph/snapshot_view.h"
 #include "graph/store_tuning.h"
 #include "stream/batch.h"
+#include "stream/compute_policy.h"
 #include "stream/pending.h"
 #include "stream/update_context.h"
 #include "stream/update_stats.h"
@@ -88,6 +89,14 @@ struct EngineConfig {
      * hand-off.  Only consulted when a compute callback is registered.
      */
     unsigned pipeline_depth = 1;
+    /**
+     * Compute-phase policy for incremental analytics registered via
+     * `set_compute` (DESIGN.md §14).  The engine itself only carries it —
+     * the registered analytics bundle (analytics/incremental/analytics.h)
+     * reads it and decides full-rerun vs delta-propagate per epoch from
+     * the hand-off's input statistics.
+     */
+    stream::IncrementalPolicyParams incremental;
 };
 
 /** Everything the engine did with one batch. */

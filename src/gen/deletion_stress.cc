@@ -1,0 +1,93 @@
+#include "gen/deletion_stress.h"
+
+#include "common/check.h"
+
+namespace igs::gen {
+
+DeletionStressGenerator::DeletionStressGenerator(
+    const DeletionStressModel& model)
+    : model_(model), rng_(model.seed)
+{
+    IGS_CHECK(model_.num_vertices >= 2);
+    IGS_CHECK(model_.build_edges >= 1);
+    IGS_CHECK(model_.burst >= 1);
+}
+
+DeletionStressGenerator::Phase
+DeletionStressGenerator::phase() const
+{
+    if (position_ < model_.build_edges) {
+        return Phase::kBuild;
+    }
+    // After the build prefix the stream alternates burst-sized delete
+    // and reinsert windows.
+    const std::uint64_t cycle_pos =
+        (position_ - model_.build_edges) % (2 * model_.burst);
+    return cycle_pos < model_.burst ? Phase::kDelete : Phase::kReinsert;
+}
+
+StreamEdge
+DeletionStressGenerator::fresh_insert()
+{
+    StreamEdge e;
+    e.src = static_cast<VertexId>(rng_.below(model_.num_vertices));
+    e.dst = static_cast<VertexId>(rng_.below(model_.num_vertices));
+    // Dyadic weight in [0.5, 1.5): multiples of 1/64 are exact in float,
+    // and so are their path sums — the harness's bitwise SSSP equality
+    // depends on this.
+    e.weight = static_cast<Weight>(32 + rng_.below(64)) / 64.0f;
+    live_.push_back(e);
+    return e;
+}
+
+StreamEdge
+DeletionStressGenerator::next()
+{
+    const Phase p = phase();
+    ++position_;
+    switch (p) {
+    case Phase::kBuild:
+        return fresh_insert();
+    case Phase::kDelete: {
+        if (live_.empty()) {
+            return fresh_insert();
+        }
+        const std::size_t i = rng_.below(live_.size());
+        StreamEdge del = live_[i];
+        live_[i] = live_.back();
+        live_.pop_back();
+        recently_deleted_.push_back(del);
+        del.is_delete = true;
+        return del;
+    }
+    case Phase::kReinsert: {
+        if (!recently_deleted_.empty() &&
+            rng_.chance(model_.reinsert_fraction)) {
+            // Same endpoints, same weight: the memoized state must come
+            // back to exactly its pre-deletion fixpoint.
+            const std::size_t i = rng_.below(recently_deleted_.size());
+            const StreamEdge e = recently_deleted_[i];
+            recently_deleted_[i] = recently_deleted_.back();
+            recently_deleted_.pop_back();
+            live_.push_back(e);
+            return e;
+        }
+        return fresh_insert();
+    }
+    }
+    IGS_CHECK(false);
+    return {};
+}
+
+std::vector<StreamEdge>
+DeletionStressGenerator::take(std::size_t n)
+{
+    std::vector<StreamEdge> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(next());
+    }
+    return out;
+}
+
+} // namespace igs::gen

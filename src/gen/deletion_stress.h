@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Adversarial deletion-stress stream generator.
+ *
+ * EdgeStreamGenerator's in-band deletions are sparse and scattered —
+ * good for modeling real datasets, useless for attacking the
+ * incremental analytics kernels (DESIGN.md §14), whose hard cases are
+ * exactly the ones a benign stream never concentrates:
+ *
+ *  - *delete bursts*: a batch that is (almost) all deletions tears a
+ *    large dependence region out of the memoized SSSP/BFS state at
+ *    once and pushes the batch's delete ratio past the auto policy's
+ *    threshold (stream/compute_policy.h);
+ *  - *delete-then-reinsert-same-edge*: the reinserted edge must
+ *    restore distances to their exact prior values, which catches
+ *    stale memo state and missed trim regions;
+ *  - *duplicate insertions*: a fresh insert may duplicate a live edge,
+ *    which the engine *accumulates* — the distance-increasing
+ *    insertion case SSSP's trim pass must detect.
+ *
+ * The stream is phase-structured: a build-up prefix of fresh
+ * insertions, then alternating delete/reinsert bursts.  Weights are
+ * dyadic rationals (multiples of 1/64 in [0.5, 1.5)), so float path
+ * sums are exact and the equivalence harness can assert *bitwise*
+ * distance equality even across ties.  Fully deterministic per seed.
+ */
+#ifndef IGS_GEN_DELETION_STRESS_H
+#define IGS_GEN_DELETION_STRESS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace igs::gen {
+
+/** Parameters of the deletion-stress stream. */
+struct DeletionStressModel {
+    /** Vertex ids are drawn from [0, num_vertices). */
+    std::uint32_t num_vertices = 1u << 12;
+    /** Fresh-insertion prefix that builds the victim graph. */
+    std::uint64_t build_edges = 1u << 12;
+    /** Operations per delete burst and per reinsert burst. */
+    std::uint64_t burst = 256;
+    /** Fraction of a reinsert burst replaying recently deleted edges
+     *  (same endpoints, same weight); the rest are fresh insertions. */
+    double reinsert_fraction = 0.75;
+    /** RNG seed. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Pull-based generator mirroring EdgeStreamGenerator's surface:
+ * `next()` yields one operation, `take(n)` materializes a batch.
+ */
+class DeletionStressGenerator {
+  public:
+    enum class Phase : std::uint8_t { kBuild, kDelete, kReinsert };
+
+    explicit DeletionStressGenerator(const DeletionStressModel& model);
+
+    /** Produce the next stream operation. */
+    StreamEdge next();
+
+    /** Materialize the next `n` operations. */
+    std::vector<StreamEdge> take(std::size_t n);
+
+    /** Number of operations emitted so far. */
+    std::uint64_t position() const { return position_; }
+
+    /** Phase the *next* operation will be drawn from. */
+    Phase phase() const;
+
+    const DeletionStressModel& model() const { return model_; }
+
+  private:
+    StreamEdge fresh_insert();
+
+    DeletionStressModel model_;
+    Rng rng_;
+    std::uint64_t position_ = 0;
+    /** Insertions emitted and not yet deleted (deletion targets). */
+    std::vector<StreamEdge> live_;
+    /** Deleted during the current/previous delete burst; reinsert pool. */
+    std::vector<StreamEdge> recently_deleted_;
+};
+
+} // namespace igs::gen
+
+#endif // IGS_GEN_DELETION_STRESS_H

@@ -24,11 +24,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/check.h"
 #include "common/spinlock.h"
 #include "common/types.h"
+#include "graph/dirty_set_view.h"
 
 namespace igs::graph {
 
@@ -174,6 +176,18 @@ class AdjacencyList {
 
     /** Structural equality against another graph (order-insensitive). */
     bool same_topology(const AdjacencyList& other) const;
+
+    /**
+     * Read path annotated with an epoch's dirty set (sorted, deduplicated
+     * — PendingWork::affected).  Declared backend capability
+     * (tools/layers.toml [semantic.backends.AdjacencyList]); incremental
+     * analytics seed their delta propagation from it (DESIGN.md §14).
+     */
+    DirtySetView<AdjacencyList>
+    dirty_view(std::span<const VertexId> dirty) const
+    {
+        return DirtySetView<AdjacencyList>(*this, dirty);
+    }
 
   private:
     std::vector<std::vector<Neighbor>> out_;

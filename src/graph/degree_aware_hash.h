@@ -16,13 +16,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iterator>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/check.h"
 #include "common/spinlock.h"
 #include "common/types.h"
 #include "graph/adjacency_list.h"
+#include "graph/dirty_set_view.h"
 #include "graph/store_tuning.h"
 
 namespace igs::graph {
@@ -48,6 +51,112 @@ class DahEdgeSet {
     std::uint32_t size() const { return count_; }
     bool hashed() const { return !table_.empty(); }
 
+  private:
+    struct Slot {
+        VertexId id = kInvalidVertex;
+        Weight weight = 0.0f;
+    };
+
+  public:
+    /**
+     * Forward iterator over the stored neighbors, representation-blind:
+     * walks the plain array below the migration threshold and skips the
+     * empty slots of the open-addressed table above it.  Dereference
+     * yields @ref Neighbor by value (hash slots store id/weight in a
+     * different layout, so there is no Neighbor lvalue to point at).
+     */
+    class ConstIterator {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = Neighbor;
+        using difference_type = std::ptrdiff_t;
+
+        ConstIterator() = default;
+
+        Neighbor
+        operator*() const
+        {
+            return array_ != nullptr ? *array_
+                                     : Neighbor{slot_->id, slot_->weight};
+        }
+
+        ConstIterator&
+        operator++()
+        {
+            if (array_ != nullptr) {
+                ++array_;
+            } else {
+                ++slot_;
+                skip_empty();
+            }
+            return *this;
+        }
+
+        ConstIterator
+        operator++(int)
+        {
+            ConstIterator tmp = *this;
+            ++*this;
+            return tmp;
+        }
+
+        friend bool operator==(const ConstIterator&,
+                               const ConstIterator&) = default;
+
+      private:
+        friend class DahEdgeSet;
+        ConstIterator(const Neighbor* array, const Slot* slot,
+                      const Slot* slot_end)
+            : array_(array), slot_(slot), slot_end_(slot_end)
+        {
+            skip_empty();
+        }
+
+        void
+        skip_empty()
+        {
+            while (slot_ != slot_end_ && slot_->id == kInvalidVertex) {
+                ++slot_;
+            }
+        }
+
+        const Neighbor* array_ = nullptr;
+        const Slot* slot_ = nullptr;
+        const Slot* slot_end_ = nullptr;
+    };
+
+    /** Iterable view of the set (graph::GraphReadPath `edges` range). */
+    class View {
+      public:
+        ConstIterator begin() const { return begin_; }
+        ConstIterator end() const { return end_; }
+
+      private:
+        friend class DahEdgeSet;
+        View(ConstIterator begin, ConstIterator end)
+            : begin_(begin), end_(end)
+        {
+        }
+
+        ConstIterator begin_;
+        ConstIterator end_;
+    };
+
+    /** View of the live representation; invalidated by insert/remove. */
+    View
+    view() const
+    {
+        if (table_.empty()) {
+            const Neighbor* a = array_.data();
+            return View(ConstIterator(a, nullptr, nullptr),
+                        ConstIterator(a + array_.size(), nullptr, nullptr));
+        }
+        const Slot* s = table_.data();
+        const Slot* e = s + table_.size();
+        return View(ConstIterator(nullptr, s, e),
+                    ConstIterator(nullptr, e, e));
+    }
+
     /** Visit every stored neighbor. */
     template <typename Fn>
     void
@@ -70,11 +179,6 @@ class DahEdgeSet {
     std::vector<Neighbor> sorted() const;
 
   private:
-    struct Slot {
-        VertexId id = kInvalidVertex;
-        Weight weight = 0.0f;
-    };
-
     void migrate_to_hash();
     void grow_table();
     ApplyResult hash_insert(Neighbor nbr);
@@ -143,6 +247,30 @@ class DegreeAwareHash {
     edge_set(VertexId v, Direction dir) const
     {
         return dir == Direction::kOut ? out_[v] : in_[v];
+    }
+
+    /**
+     * Iterable neighbor range (graph::GraphReadPath), representation-
+     * blind across the array/hash tiers.  Unordered — hashed vertices
+     * yield slot order — matching the unordered-adjacency contract of
+     * the other backends' read paths.  Invalidated by any mutation of
+     * `v`'s `dir` set.
+     */
+    DahEdgeSet::View
+    edges(VertexId v, Direction dir) const
+    {
+        return edge_set(v, dir).view();
+    }
+
+    /**
+     * Read path annotated with an epoch's dirty set — see
+     * AdjacencyList::dirty_view.  Declared backend capability
+     * (tools/layers.toml [semantic.backends.DegreeAwareHash]).
+     */
+    DirtySetView<DegreeAwareHash>
+    dirty_view(std::span<const VertexId> dirty) const
+    {
+        return DirtySetView<DegreeAwareHash>(*this, dirty);
     }
 
     /** Sorted copy of a vertex's edges (tests / snapshots). */

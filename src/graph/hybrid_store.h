@@ -48,6 +48,7 @@
 #include "common/spinlock.h"
 #include "common/types.h"
 #include "graph/adjacency_list.h" // ApplyResult
+#include "graph/dirty_set_view.h"
 #include "graph/graph_store.h"
 #include "graph/store_tuning.h"
 
@@ -240,6 +241,17 @@ class HybridStore {
     sorted_edges(VertexId v, Direction dir) const
     {
         return edge_set(v, dir).sorted();
+    }
+
+    /**
+     * Read path annotated with an epoch's dirty set — see
+     * AdjacencyList::dirty_view.  Declared backend capability
+     * (tools/layers.toml [semantic.backends.HybridStore]).
+     */
+    DirtySetView<HybridStore>
+    dirty_view(std::span<const VertexId> dirty) const
+    {
+        return DirtySetView<HybridStore>(*this, dirty);
     }
 
     /** Out-direction tier population (vertices per tier). */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/telemetry.h"
 #include "core/ingest.h"
 
@@ -94,6 +95,14 @@ void
 SimEngine::note_compute_round(Cycles compute_cycles)
 {
     overlap_budget_ = core_.config().pipeline_depth >= 2 ? compute_cycles : 0;
+}
+
+void
+SimEngine::note_compute_round(Cycles compute_cycles, EpochId epoch)
+{
+    IGS_DCHECK(epoch == graph_.epoch());
+    (void)epoch;
+    note_compute_round(compute_cycles);
 }
 
 } // namespace igs::sim

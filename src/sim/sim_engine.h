@@ -63,6 +63,13 @@ class SimEngine {
      */
     void note_compute_round(Cycles compute_cycles);
 
+    /** Epoch-attributed variant: asserts the round was launched against
+     *  the epoch most recently published by take_pending_work(), so a
+     *  bench driving compute by hand cannot mis-book a round against a
+     *  stale hand-off (bench_incremental's per-epoch cycle attribution
+     *  relies on this). */
+    void note_compute_round(Cycles compute_cycles, EpochId epoch);
+
     /** The underlying update runner (HAU/NoC inspection in benches). */
     UpdateRunner& runner() { return runner_; }
 

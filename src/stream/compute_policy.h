@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Full-rerun vs delta-propagate: the input-aware compute-phase policy.
+ *
+ * The paper's thesis applied to the compute side (DESIGN.md §14): the
+ * per-epoch input statistics the stream layer already accumulates —
+ * dirty-set size, insert/delete mix — predict whether re-running an
+ * analytics kernel from scratch or propagating deltas from the dirty
+ * set is cheaper.  Delta propagation wins when the dirty set is a small
+ * fraction of the graph; it loses its edge as the dirty fraction grows
+ * (the seeded frontier approaches the full vertex set while paying
+ * extra bookkeeping) and under delete-heavy batches (deletion-safe
+ * correction must trim and rebuild dependence regions, KickStarter-
+ * style, which can cascade).  `kAuto` makes that call per epoch from
+ * @ref EpochInputStats — the same shape of decision ABR makes for the
+ * update phase.
+ *
+ * Lives in stream/ (not core/ or analytics/): the decision is a pure
+ * function of input-stream statistics, core and analytics are sibling
+ * layers that cannot include each other (tools/layers.toml), and both
+ * need it — core carries the chosen policy in EngineConfig, analytics
+ * executes it.
+ */
+#ifndef IGS_STREAM_COMPUTE_POLICY_H
+#define IGS_STREAM_COMPUTE_POLICY_H
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "stream/pending.h"
+
+namespace igs::stream {
+
+/** How incremental analytics treat each epoch's compute round. */
+enum class IncrementalPolicy {
+    kFullRerun,      ///< input-oblivious: recompute from scratch
+    kDeltaPropagate, ///< input-oblivious: always seed from the dirty set
+    kAuto,           ///< input-aware: choose per epoch from batch stats
+};
+
+inline const char*
+to_string(IncrementalPolicy policy)
+{
+    switch (policy) {
+    case IncrementalPolicy::kFullRerun:
+        return "full";
+    case IncrementalPolicy::kDeltaPropagate:
+        return "delta";
+    case IncrementalPolicy::kAuto:
+        return "auto";
+    }
+    return "?";
+}
+
+/** Policy selection plus the kAuto decision thresholds. */
+struct IncrementalPolicyParams {
+    IncrementalPolicy policy = IncrementalPolicy::kAuto;
+    /** kAuto: delta-propagate only when |dirty| / |V| stays below this
+     *  (above it the seeded frontier covers most of the graph anyway). */
+    double max_dirty_fraction = 0.25;
+    /** kAuto: delta-propagate only when deletes / (inserts + deletes)
+     *  stays below this (delete-heavy epochs cascade trim-and-correct). */
+    double max_delete_ratio = 0.6;
+};
+
+/** Per-epoch input statistics the policy decision keys on. */
+struct EpochInputStats {
+    std::size_t dirty_vertices = 0;
+    std::size_t inserted = 0;
+    std::size_t deleted = 0;
+    /** |dirty| / |V| at hand-off. */
+    double dirty_fraction = 0.0;
+    /** deleted / (inserted + deleted); 0 for an empty epoch. */
+    double delete_ratio = 0.0;
+
+    static EpochInputStats
+    measure(const PendingWork& work, std::size_t num_vertices)
+    {
+        EpochInputStats s;
+        s.dirty_vertices = work.affected.size();
+        s.inserted = work.inserted.size();
+        s.deleted = work.deleted.size();
+        s.dirty_fraction =
+            num_vertices == 0
+                ? 0.0
+                : static_cast<double>(s.dirty_vertices) /
+                      static_cast<double>(num_vertices);
+        const std::size_t ops = s.inserted + s.deleted;
+        s.delete_ratio = ops == 0 ? 0.0
+                                  : static_cast<double>(s.deleted) /
+                                        static_cast<double>(ops);
+        return s;
+    }
+};
+
+/** The per-epoch decision: should this round propagate deltas? */
+inline bool
+use_delta(const IncrementalPolicyParams& params, const EpochInputStats& s)
+{
+    switch (params.policy) {
+    case IncrementalPolicy::kFullRerun:
+        return false;
+    case IncrementalPolicy::kDeltaPropagate:
+        return true;
+    case IncrementalPolicy::kAuto:
+        return s.dirty_fraction <= params.max_dirty_fraction &&
+               s.delete_ratio <= params.max_delete_ratio;
+    }
+    return false;
+}
+
+} // namespace igs::stream
+
+#endif // IGS_STREAM_COMPUTE_POLICY_H

@@ -29,22 +29,16 @@
 #include "graph/store_tuning.h"
 #include "stream/batch.h"
 
+#include "test_support.h"
+
 namespace igs::graph {
 namespace {
 
 constexpr Direction kOut = Direction::kOut;
 constexpr Direction kIn = Direction::kIn;
 
-/** Tuning with a low hash threshold so tests cross both promotion
- *  boundaries with small degrees. */
-StoreTuning
-tight_tuning()
-{
-    StoreTuning t;
-    t.hybrid_sorted_threshold = 8;
-    t.dah_hash_threshold = 8;
-    return t;
-}
+using testutil::mixed_stream;
+using testutil::tight_tuning;
 
 // ------------------------------------------------------ tier transitions
 
@@ -277,20 +271,6 @@ INSTANTIATE_TEST_SUITE_P(Seeds, HybridRandomTest,
 
 // ------------------------------------------- cross-backend equivalence
 
-/** A mixed insert/delete stream with enough per-vertex concentration to
- *  push hot vertices across both promotion boundaries. */
-std::vector<StreamEdge>
-mixed_stream(std::size_t n, std::uint64_t seed)
-{
-    gen::StreamModel m;
-    m.num_vertices = 300;
-    m.num_hubs = 6;
-    m.hub_mass_dst = 0.5;
-    m.delete_fraction = 0.25;
-    m.seed = seed;
-    return gen::EdgeStreamGenerator(m).take(n);
-}
-
 TEST(CrossBackendEquivalence, IdenticalStateUnderMixedSchedules)
 {
     for (const std::uint64_t seed : {21u, 22u, 23u}) {
@@ -389,17 +369,7 @@ TEST(CrossBackendEquivalence, AnalyticsAgreeAcrossBackends)
 namespace igs {
 namespace {
 
-stream::EdgeBatch
-engine_batch(std::uint64_t id, std::size_t n, std::uint64_t seed)
-{
-    gen::StreamModel m;
-    m.num_vertices = 500;
-    m.num_hubs = 8;
-    m.hub_mass_dst = 0.4;
-    m.delete_fraction = 0.1;
-    m.seed = seed;
-    return stream::EdgeBatch(id, gen::EdgeStreamGenerator(m).take(n));
-}
+using testutil::engine_batch;
 
 TEST(AnyRealTimeEngine, HybridBackendMatchesAdjacencyListBackend)
 {

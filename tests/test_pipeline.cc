@@ -6,6 +6,7 @@
  * the serial run, backpressure accounting, per-epoch PendingWork
  * hand-off, and the sim frontend's modeled overlap.
  */
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -14,8 +15,11 @@
 #include <gtest/gtest.h>
 
 #include "analytics/compute_meter.h"
+#include "analytics/incremental/analytics.h"
 #include "analytics/pagerank.h"
 #include "analytics/sssp.h"
+#include "analytics/traversal.h"
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
 #include "gen/edge_stream.h"
@@ -26,8 +30,15 @@
 #include "sim/sim_engine.h"
 #include "stream/pending.h"
 
+#include "test_support.h"
+
 namespace igs {
 namespace {
+
+using testutil::expect_reports_equal;
+using testutil::expect_snapshot_matches_live;
+using testutil::pipeline_batch;
+using testutil::pipeline_config;
 
 // Every storage backend satisfies the read-path concept; the live stores
 // and the snapshot additionally carry the epoch token.
@@ -37,44 +48,6 @@ static_assert(graph::GraphReadPath<graph::SnapshotView>);
 static_assert(graph::GraphStore<graph::AdjacencyList>);
 static_assert(graph::GraphStore<graph::IndexedAdjacency>);
 static_assert(graph::GraphStore<graph::SnapshotView>);
-
-stream::EdgeBatch
-pipeline_batch(std::uint64_t id, std::size_t n, std::uint64_t seed)
-{
-    gen::StreamModel m;
-    m.num_vertices = 2000;
-    m.num_hubs = 8;
-    m.hub_mass_dst = 0.3;
-    m.seed = seed;
-    stream::EdgeBatch b;
-    b.id = id;
-    b.set_edges(gen::EdgeStreamGenerator(m).take(n));
-    return b;
-}
-
-core::EngineConfig
-pipeline_config(core::UpdatePolicy policy, unsigned depth)
-{
-    core::EngineConfig cfg;
-    cfg.policy = policy;
-    cfg.abr.n = 2;
-    cfg.pipeline_depth = depth;
-    return cfg;
-}
-
-void
-expect_snapshot_matches_live(const graph::SnapshotView& snap,
-                             const graph::AdjacencyList& live)
-{
-    ASSERT_EQ(snap.num_vertices(), live.num_vertices());
-    EXPECT_EQ(snap.num_edges(), live.num_edges());
-    for (VertexId v = 0; v < live.num_vertices(); ++v) {
-        for (Direction dir : {Direction::kOut, Direction::kIn}) {
-            EXPECT_EQ(snap.edges(v, dir), live.edges(v, dir))
-                << "vertex " << v << " dir " << to_string(dir);
-        }
-    }
-}
 
 // ----------------------------------------------------------- snapshots
 TEST(SnapshotStore, FirstPublishCopiesWholeGraph)
@@ -186,32 +159,6 @@ TEST(PendingAccumulator, DeleteThenInsertOfSameEdgeWithinAggregatedWindow)
 }
 
 // ------------------------------------------------- depth-1 equivalence
-void
-expect_reports_equal(const core::BatchReport& a, const core::BatchReport& b)
-{
-    EXPECT_EQ(a.batch_id, b.batch_id);
-    EXPECT_EQ(a.abr_active, b.abr_active);
-    EXPECT_EQ(a.reordered, b.reordered);
-    EXPECT_EQ(a.used_usc, b.used_usc);
-    EXPECT_EQ(a.used_hau, b.used_hau);
-    ASSERT_EQ(a.cad.has_value(), b.cad.has_value());
-    if (a.cad.has_value()) {
-        EXPECT_EQ(a.cad->cad_out, b.cad->cad_out);
-        EXPECT_EQ(a.cad->cad_in, b.cad->cad_in);
-        EXPECT_EQ(a.cad->max_out_degree, b.cad->max_out_degree);
-        EXPECT_EQ(a.cad->max_in_degree, b.cad->max_in_degree);
-    }
-    EXPECT_EQ(a.overlap, b.overlap);
-    EXPECT_EQ(a.defer_compute, b.defer_compute);
-    EXPECT_EQ(a.instrumentation_cycles, b.instrumentation_cycles);
-    EXPECT_EQ(a.update.cycles, b.update.cycles);
-    EXPECT_EQ(a.update.probes, b.update.probes);
-    EXPECT_EQ(a.update.inserts, b.update.inserts);
-    EXPECT_EQ(a.update.removes, b.update.removes);
-    EXPECT_EQ(a.update_hidden_cycles, b.update_hidden_cycles);
-    // wall_seconds is wall clock: nondeterministic by nature, excluded.
-}
-
 TEST(RealTimeEnginePipeline, DepthOneMatchesUnpipelinedEngineExactly)
 {
     ThreadPool pool(4);
@@ -311,6 +258,95 @@ TEST(RealTimeEnginePipeline, DepthTwoResultsEqualSerialRun)
     EXPECT_EQ(serial.pagerank.ranks(), overlapped.pagerank.ranks());
     EXPECT_EQ(serial.sssp.distances(), overlapped.sssp.distances());
     EXPECT_GT(serial.pagerank.ranks().size(), 0u);
+}
+
+TEST(RealTimeEnginePipeline, DepthTwoComputeSeesOnlyPublishedDirtySet)
+{
+    // Each batch k touches only the disjoint vertex range
+    // [(k-1)*100, (k-1)*100 + 50).  At depth 2 the incremental compute
+    // round for epoch k runs concurrently with the ingest of batch k+1
+    // into the live graph — but it must see exactly epoch k's published
+    // snapshot and dirty set: the dirty vertices all lie in batch k's
+    // range, and every later batch's range is still empty in the
+    // snapshot.  (The tsan check_matrix leg re-runs this test to prove
+    // the overlap is race-free, not just value-correct.)
+    constexpr std::uint64_t kBatches = 6;
+    constexpr VertexId kStride = 100;
+    constexpr VertexId kSpan = 50;
+    const auto range_lo = [](EpochId k) {
+        return static_cast<VertexId>((k - 1) * kStride);
+    };
+
+    ThreadPool pool(4);
+    const auto cfg = pipeline_config(core::UpdatePolicy::kBaseline, 2);
+    core::RealTimeEngine engine(cfg, 2000, pool);
+
+    struct EpochRecord {
+        EpochId epoch = 0;
+        EpochId snap_epoch = 0;
+        bool delta = false;
+        bool dirty_in_range = false;
+        bool future_ranges_empty = false;
+        bool sssp_matches = false;
+        bool bfs_matches = false;
+    };
+    Mutex mu;
+    std::vector<EpochRecord> records;
+    analytics::incremental::IncrementalAnalytics bundle;
+
+    engine.set_compute([&](const graph::SnapshotView& snap,
+                           const core::PendingWork& work) {
+        EpochRecord r;
+        r.epoch = work.epoch;
+        r.snap_epoch = snap.epoch();
+        const VertexId lo = range_lo(work.epoch);
+        r.dirty_in_range =
+            !work.affected.empty() &&
+            std::all_of(work.affected.begin(), work.affected.end(),
+                        [&](VertexId v) {
+                            return v >= lo && v < lo + kSpan;
+                        });
+        r.future_ranges_empty = true;
+        for (EpochId k = work.epoch + 1; k <= kBatches; ++k) {
+            for (VertexId v = range_lo(k); v < range_lo(k) + kSpan; ++v) {
+                if (snap.degree(v, Direction::kOut) != 0) {
+                    r.future_ranges_empty = false;
+                }
+            }
+        }
+        const auto d = bundle.on_epoch(snap, work);
+        r.delta = d.delta;
+        r.sssp_matches =
+            bundle.sssp().distances() == analytics::static_sssp(snap, 0);
+        r.bfs_matches =
+            bundle.bfs().hops() == analytics::bfs_distances(snap, 0);
+        const MutexLock lock(mu);
+        records.push_back(r);
+    });
+
+    for (EpochId k = 1; k <= kBatches; ++k) {
+        std::vector<StreamEdge> edges;
+        for (VertexId i = 0; i + 1 < kSpan; ++i) {
+            edges.push_back({range_lo(k) + i, range_lo(k) + i + 1, 1.0f,
+                             /*is_delete=*/false});
+        }
+        (void)engine.ingest(stream::EdgeBatch(k, std::move(edges)));
+    }
+    engine.flush_pipeline();
+
+    ASSERT_EQ(records.size(), kBatches);
+    for (const EpochRecord& r : records) {
+        SCOPED_TRACE("epoch=" + std::to_string(r.epoch));
+        EXPECT_EQ(r.snap_epoch, r.epoch);
+        EXPECT_TRUE(r.dirty_in_range);
+        EXPECT_TRUE(r.future_ranges_empty);
+        EXPECT_TRUE(r.sssp_matches);
+        EXPECT_TRUE(r.bfs_matches);
+        // kAuto sends every warm epoch down the delta path here: the
+        // dirty fraction is 50/2000 and there are no deletions.
+        EXPECT_EQ(r.delta, r.epoch > 1);
+    }
+    EXPECT_EQ(bundle.delta_epochs(), kBatches - 1);
 }
 
 TEST(RealTimeEnginePipeline, DepthTwoStallsWhenComputeOutlastsIngest)

@@ -11,6 +11,10 @@
 #         backend tests (tier promotions under the contended lock and
 #         USC paths, DESIGN.md §12) repeated until-fail; share the asan
 #         and tsan build trees respectively
+#   tsan-incremental  focused TSan deep-run of the incremental-analytics
+#         equivalence harness and the depth>=2 dirty-set isolation test
+#         (memoized kernel state vs the published snapshot's dirty set,
+#         DESIGN.md §14) repeated until-fail; shares the tsan build tree
 #   tsa   clang -Wthread-safety as errors (-DIGS_THREAD_SAFETY=ON);
 #         compile-only analysis, then the plain test suite.
 #         Skipped (with a notice) when no clang++ is on PATH — the
@@ -25,7 +29,7 @@
 #
 # Usage:  tools/check_matrix.sh [leg ...]
 #         (default: lint analyze semantic asan asan-hybrid tsan
-#          tsan-pipeline tsan-hybrid tsa)
+#          tsan-pipeline tsan-hybrid tsan-incremental tsa)
 #
 # Each leg builds in its own tree (build-check-<leg>) with
 # CMAKE_BUILD_TYPE=Debug so IGS_DCHECK and the Spinlock owner assertions
@@ -38,7 +42,7 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
     LEGS=(lint analyze semantic asan asan-hybrid tsan tsan-pipeline
-          tsan-hybrid tsa)
+          tsan-hybrid tsan-incremental tsa)
 fi
 
 # TSan suppressions: intentionally empty unless a race is provably benign
@@ -158,6 +162,17 @@ for leg in "${LEGS[@]}"; do
         run_leg tsan-hybrid -DIGS_SANITIZE=thread
         unset IGS_CHECK_BDIR CTEST_EXTRA
         ;;
+      tsan-incremental)
+        # Focused TSan deep-run of the incremental-analytics suite: the
+        # randomized equivalence harness across all three backends plus
+        # the depth-2 test where the memoized bundle computes inside the
+        # engine's compute callback against the published snapshot.
+        # Reuses the tsan tree.
+        IGS_CHECK_BDIR="$ROOT/build-check-tsan"
+        CTEST_EXTRA=(-R 'Incremental|DirtySet' --repeat until-fail:3)
+        run_leg tsan-incremental -DIGS_SANITIZE=thread
+        unset IGS_CHECK_BDIR CTEST_EXTRA
+        ;;
       tsa)
         if command -v clang++ >/dev/null 2>&1; then
             CC=clang CXX=clang++ run_leg tsa -DIGS_THREAD_SAFETY=ON \
@@ -170,7 +185,8 @@ for leg in "${LEGS[@]}"; do
         ;;
       *)
         echo "unknown leg: $leg (known: lint analyze semantic asan" \
-             "asan-hybrid tsan tsan-pipeline tsan-hybrid tsa)" >&2
+             "asan-hybrid tsan tsan-pipeline tsan-hybrid" \
+             "tsan-incremental tsa)" >&2
         FAILED+=("$leg (unknown)")
         ;;
     esac
