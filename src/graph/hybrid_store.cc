@@ -1,6 +1,7 @@
 #include "graph/hybrid_store.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/telemetry.h"
 
@@ -124,6 +125,10 @@ HybridEdgeSet::hash_insert(Neighbor nbr)
     ++r.probes;
     // igs-lint: allow(hot-path-alloc) -- amortized dense-array growth
     heap_.push_back(nbr);
+    // The hash index stores 1-based uint32 slots into the dense array;
+    // a per-vertex edge set past 2^32-1 entries would silently alias.
+    IGS_DCHECK(heap_.size() <=
+               std::numeric_limits<std::uint32_t>::max());
     index_[i] = static_cast<std::uint32_t>(heap_.size());
     ++count_;
     return r;

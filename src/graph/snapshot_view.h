@@ -64,6 +64,9 @@ class SnapshotView {
     std::uint32_t
     degree(VertexId v, Direction dir) const
     {
+        // Snapshot rows are copies of live adjacency rows, whose degree
+        // is bounded by the uint32 VertexId space by construction.
+        // igs-lint: allow(unproven-narrowing)
         return static_cast<std::uint32_t>(edges(v, dir).size());
     }
 

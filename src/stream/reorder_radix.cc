@@ -178,6 +178,9 @@ runs_from_boundaries(ThreadPool& pool, std::size_t workers,
     std::size_t total = 0;
     for (std::size_t w = 0; w < workers; ++w) {
         const std::uint32_t count = s.run_counts[w];
+        // total <= n (runs never outnumber edges) and every batch size
+        // is CHECKed against uint32 max at the reorder entry point.
+        // igs-lint: allow(unproven-narrowing)
         s.run_counts[w] = static_cast<std::uint32_t>(total);
         total += count;
     }

@@ -1,0 +1,14 @@
+#include "core/engine.h"
+#include "graph/mini_store.h"
+
+namespace app {
+
+int attach_compute(MiniEngine<MiniStore>& engine, int seed)
+{
+    engine.set_compute([seed](const SnapshotView& snap) {
+        return snap.degree(seed);
+    });
+    return seed;
+}
+
+} // namespace app

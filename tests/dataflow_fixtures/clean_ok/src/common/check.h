@@ -1,0 +1,8 @@
+#pragma once
+
+#define IGS_CHECK(cond) \
+    do { \
+        if (!(cond)) { \
+            __builtin_trap(); \
+        } \
+    } while (0)

@@ -1,0 +1,11 @@
+#pragma once
+
+namespace app {
+
+struct MiniStore {
+    void apply_insert(int e) { n_ += e; }
+    int edges(int v) const { return n_ + v; }
+    int n_ = 0;
+};
+
+} // namespace app

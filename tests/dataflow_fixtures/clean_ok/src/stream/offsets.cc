@@ -1,0 +1,15 @@
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "common/check.h"
+
+namespace app {
+
+std::uint32_t clamp_offset(std::size_t n)
+{
+    IGS_CHECK(n <= std::numeric_limits<std::uint32_t>::max());
+    return static_cast<std::uint32_t>(n);
+}
+
+} // namespace app

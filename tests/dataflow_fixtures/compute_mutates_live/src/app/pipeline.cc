@@ -1,0 +1,22 @@
+#include "graph/mini_store.h"
+
+namespace app {
+
+struct Hub {
+    template <class Fn>
+    void set_compute(Fn fn) { (void)fn; }
+};
+
+// Looks innocent from the lambda: the mutation happens one call deep,
+// where only the interprocedural walk can see it.
+void bump_counts(MiniStore& store)
+{
+    store.apply_insert(7);
+}
+
+void wire(Hub& hub, MiniStore& store)
+{
+    hub.set_compute([&store]() { bump_counts(store); });
+}
+
+} // namespace app

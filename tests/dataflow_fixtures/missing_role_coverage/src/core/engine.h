@@ -1,0 +1,20 @@
+#pragma once
+
+#include "graph/mini_store.h"
+#include "graph/other_store.h"
+
+namespace app {
+
+template <class Graph>
+class MiniEngine {
+  public:
+    int tick() { return graph_.edges(0); }
+
+  private:
+    Graph graph_;
+};
+
+// Only MiniStore is bound; OtherStore stays outside the role proof.
+template class MiniEngine<MiniStore>;
+
+} // namespace app

@@ -1,0 +1,9 @@
+#pragma once
+
+namespace app {
+
+struct MiniStore {
+    int edges(int v) const { return v; }
+};
+
+} // namespace app

@@ -1,0 +1,9 @@
+#pragma once
+
+namespace app {
+
+struct OtherStore {
+    int edges(int v) const { return v + 1; }
+};
+
+} // namespace app

@@ -1,0 +1,12 @@
+#include <cstddef>
+#include <cstdint>
+
+namespace app {
+
+std::uint32_t bad_offset()
+{
+    std::size_t big = 5000000000;
+    return static_cast<std::uint32_t>(big);
+}
+
+} // namespace app

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <atomic>
+
+namespace app {
+class Gate {
+  public:
+    bool ready() const {
+        return flag_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+} // namespace app

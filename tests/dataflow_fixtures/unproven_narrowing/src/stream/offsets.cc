@@ -1,0 +1,23 @@
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "common/check.h"
+
+namespace app {
+
+// Guarded: the IGS_CHECK bound proves the cast.
+std::uint32_t checked(std::size_t guarded_total)
+{
+    IGS_CHECK(guarded_total <=
+              std::numeric_limits<std::uint32_t>::max());
+    return static_cast<std::uint32_t>(guarded_total);
+}
+
+// Unguarded: same shape, no dominating bound.
+std::uint32_t unchecked(std::size_t raw)
+{
+    return static_cast<std::uint32_t>(raw);
+}
+
+} // namespace app

@@ -26,9 +26,12 @@
 #   semantic  tools/igs_semantic.py semantic passes (template-aware
 #         hot-path walk, snapshot lifetimes, backend contracts,
 #         telemetry-key registry) + fixture self-test
+#   dataflow  tools/igs_dataflow.py interprocedural passes (epoch role
+#         proofs, atomic publication pairing, hot-path value ranges)
+#         + fixture self-test — the static counterpart of the tsan legs
 #
 # Usage:  tools/check_matrix.sh [leg ...]
-#         (default: lint analyze semantic asan asan-hybrid tsan
+#         (default: lint analyze semantic dataflow asan asan-hybrid tsan
 #          tsan-pipeline tsan-hybrid tsan-incremental tsa)
 #
 # Each leg builds in its own tree (build-check-<leg>) with
@@ -41,8 +44,8 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-    LEGS=(lint analyze semantic asan asan-hybrid tsan tsan-pipeline
-          tsan-hybrid tsan-incremental tsa)
+    LEGS=(lint analyze semantic dataflow asan asan-hybrid tsan
+          tsan-pipeline tsan-hybrid tsan-incremental tsa)
 fi
 
 # TSan suppressions: intentionally empty unless a race is provably benign
@@ -123,6 +126,17 @@ for leg in "${LEGS[@]}"; do
             FAILED+=(semantic)
         fi
         ;;
+      dataflow)
+        echo "=== [dataflow] igs_dataflow + self-test ==="
+        # Static counterpart of the tsan-* legs: role/publication/
+        # interval proofs over the same pipeline edges.
+        if python3 "$ROOT/tools/igs_dataflow.py" --root "$ROOT" &&
+           python3 "$ROOT/tools/igs_dataflow.py" --root "$ROOT" --self-test; then
+            PASSED+=(dataflow)
+        else
+            FAILED+=(dataflow)
+        fi
+        ;;
       asan)
         run_leg asan -DIGS_SANITIZE=address,undefined
         ;;
@@ -184,8 +198,8 @@ for leg in "${LEGS[@]}"; do
         fi
         ;;
       *)
-        echo "unknown leg: $leg (known: lint analyze semantic asan" \
-             "asan-hybrid tsan tsan-pipeline tsan-hybrid" \
+        echo "unknown leg: $leg (known: lint analyze semantic dataflow" \
+             "asan asan-hybrid tsan tsan-pipeline tsan-hybrid" \
              "tsan-incremental tsa)" >&2
         FAILED+=("$leg (unknown)")
         ;;

@@ -26,6 +26,9 @@ three cross-file properties:
                       hot-path-alloc in IGS_HOT_PATH files, still sit on
                       a matching allocation site, since igs_lint shares
                       that rule id).
+  stale-baseline      Every igs_analyzer entry in the shared audited
+                      baseline (tools/analysis_baseline.json, section
+                      "igs_analyzer") must still match a finding.
 
 Findings are suppressed by the same audited pragma mechanism as
 igs_lint: `// igs-lint: allow(<rule>)` on the offending or preceding
@@ -36,7 +39,8 @@ reachability walk does not descend into.
 
 Usage:
   tools/igs_analyzer.py [--root DIR] [--compile-commands FILE]
-                        [--layers FILE] [--sarif FILE]
+                        [--layers FILE] [--sarif FILE] [--baseline FILE]
+                        [--update-baseline]
   tools/igs_analyzer.py --self-test       # run against analyzer_fixtures
 
 Exit status: 0 clean, 1 unsuppressed findings, 2 setup/config error.
@@ -107,7 +111,7 @@ NOT_A_FUNCTION = frozenset({
 ANALYZER_RULES = (
     "layer-inversion", "include-cycle", "lock-order-cycle",
     "hot-path-alloc", "hot-path-block", "hot-path-throw",
-    "stale-hot-path-tag", "stale-suppression",
+    "stale-hot-path-tag", "stale-baseline", "stale-suppression",
 )
 
 RULE_DESCRIPTIONS = {
@@ -129,6 +133,9 @@ RULE_DESCRIPTIONS = {
     "stale-hot-path-tag":
         "A file carries the '// IGS_HOT_PATH' tag but none of its "
         "functions appear in the hot-path call graph.",
+    "stale-baseline":
+        "An audited-baseline entry (tools/analysis_baseline.json) "
+        "matches no current finding.",
     "stale-suppression":
         "An 'igs-lint: allow(...)' pragma for an analyzer rule no "
         "longer suppresses anything.",
@@ -142,6 +149,8 @@ class Finding:
         self.rule = rule
         self.message = message
         self.suppressed = False
+        self.baselined = False
+        self.level = "warning"
 
     def __str__(self):
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
@@ -904,6 +913,12 @@ def main(argv):
                              "(default: <root>/tools/layers.toml)")
     parser.add_argument("--sarif", default=None,
                         help="also write findings as SARIF 2.1.0")
+    parser.add_argument("--baseline", default=None,
+                        help="audited baseline file (default: "
+                             "<root>/tools/analysis_baseline.json)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite this tool's baseline section from "
+                             "current findings (justifications by review)")
     parser.add_argument("--self-test", action="store_true",
                         help="validate rules against "
                              "tests/analyzer_fixtures")
@@ -940,7 +955,20 @@ def main(argv):
 
     analyzer = Analyzer(root, config, tus)
     findings = analyzer.run()
-    unsuppressed = [f for f in findings if not f.suppressed]
+
+    from semantic import baseline
+    baseline_path = args.baseline or \
+        os.path.join(root, "tools", "analysis_baseline.json")
+    if args.update_baseline:
+        baseline.write_template(baseline_path, findings, tool=TOOL_NAME)
+        print(f"{TOOL_NAME}: baseline section written to {baseline_path}")
+        return 0
+    entries = baseline.load(baseline_path, tool=TOOL_NAME)
+    findings.extend(baseline.apply(
+        findings, entries, os.path.relpath(baseline_path, root)))
+
+    unsuppressed = [f for f in findings
+                    if not f.suppressed and not f.baselined]
     n_suppressed = len(findings) - len(unsuppressed)
 
     if args.verbose:

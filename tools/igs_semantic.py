@@ -22,11 +22,13 @@ four passes:
   telemetry_keys  telemetry key registry: uniqueness, naming scheme,
                   golden-JSON cross-check.
 
-Findings honour igs_lint's `igs-lint: allow(<rule>)` pragmas, an audited
-baseline (tools/semantic_baseline.json) with stale-entry detection, and
-are emitted as SARIF 2.1.0 through the emitter shared with
-igs_analyzer.py.  `--diff-base <ref>` keeps the exit code scoped to
-files changed since the merge base (CI) while still printing everything.
+Findings honour igs_lint's `igs-lint: allow(<rule>)` pragmas, the shared
+audited baseline (tools/analysis_baseline.json, section igs_semantic)
+with stale-entry detection, and are emitted as SARIF 2.1.0 through the
+emitter shared with igs_analyzer.py.  `--diff-base <ref>` keeps the exit
+code scoped to files changed since the merge base (CI) while still
+printing everything.  Parsing runs through the shared parallel/cached
+front end (tools/semantic/parse_cache.py) also used by igs_dataflow.
 
 Exit codes: 0 clean / only baselined, 1 findings, 2 usage error.
 """
@@ -36,19 +38,17 @@ import json
 import os
 import subprocess
 import sys
+import time
 import tomllib
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from semantic import ast_lite, baseline, frontend_clang, sarif  # noqa: E402
-from semantic.model import Model  # noqa: E402
+from semantic import baseline, parse_cache, sarif  # noqa: E402
+from semantic.parse_cache import discover_sources  # noqa: E402,F401
 from semantic.passes import ALLOW_PRAGMA, contracts, hot_path, lifetime, \
     telemetry_keys  # noqa: E402
 
 TOOL_NAME = "igs_semantic"
-SOURCE_EXTS = (".h", ".cc", ".cpp")
-EXCLUDED_PARTS = ("lint_fixtures", "analyzer_fixtures",
-                  "semantic_fixtures", "build")
 
 SEMANTIC_RULES = (
     "hot-path-alloc", "hot-path-block", "hot-path-throw",
@@ -110,38 +110,10 @@ RULE_DESCRIPTIONS = {
 }
 
 
-def discover_sources(root, scan_dirs):
-    files = []
-    for d in scan_dirs:
-        top = os.path.join(root, d)
-        for dirpath, dirnames, names in os.walk(top):
-            dirnames[:] = [x for x in dirnames if x not in EXCLUDED_PARTS]
-            for nm in sorted(names):
-                if nm.endswith(SOURCE_EXTS):
-                    rel = os.path.relpath(os.path.join(dirpath, nm), root)
-                    files.append(rel.replace(os.sep, "/"))
-    # Headers first so out-of-line definitions attach to the real class.
-    files.sort(key=lambda p: (not p.endswith(".h"), p))
-    return files
-
-
 def build_model(root, config, frontend="auto", compile_commands=None):
-    sem = config.get("semantic", {})
-    scan_dirs = sem.get("scan", ["src"])
-    model = Model(root)
-    model.backend_names = set(sem.get("backends", {}))
-    for rel in discover_sources(root, scan_dirs):
-        with open(os.path.join(root, rel), encoding="utf-8",
-                  errors="replace") as f:
-            text = f.read()
-        ast_lite.parse_file(model, rel, text)
-    if frontend in ("auto", "clang") and compile_commands and \
-            os.path.exists(compile_commands):
-        parsed = frontend_clang.validate(model, compile_commands)
-        if frontend == "clang" and parsed == 0:
-            raise SystemExit("igs_semantic: --frontend clang requested "
-                             "but libclang is unavailable")
-    return model
+    """Delegates to the shared parallel/cached parsing front end."""
+    return parse_cache.build_model(root, config, frontend,
+                                   compile_commands)
 
 
 def check_stale_pragmas(model, findings):
@@ -166,11 +138,16 @@ def check_stale_pragmas(model, findings):
 def run_analysis(root, config, frontend="auto", compile_commands=None):
     model = build_model(root, config, frontend, compile_commands)
     findings = []
-    hot_path.run(model, config, findings)
-    lifetime.run(model, config, findings)
-    contracts.run(model, config, findings)
-    telemetry_keys.run(model, config, findings)
+    timings = {}
+    for name, pass_mod in (("hot_path", hot_path),
+                           ("lifetime", lifetime),
+                           ("contracts", contracts),
+                           ("telemetry_keys", telemetry_keys)):
+        t0 = time.monotonic()
+        pass_mod.run(model, config, findings)
+        timings[name] = round(time.monotonic() - t0, 3)
     check_stale_pragmas(model, findings)
+    model.pass_timings = timings
     return model, findings
 
 
@@ -204,7 +181,7 @@ def main(argv=None):
     ap.add_argument("--matrix", metavar="PATH",
                     help="write the backend-capability matrix (JSON)")
     ap.add_argument("--baseline",
-                    default=os.path.join(here, "semantic_baseline.json"))
+                    default=os.path.join(here, "analysis_baseline.json"))
     ap.add_argument("--update-baseline", action="store_true",
                     help="rewrite the baseline from current findings "
                          "(justifications must be filled in by review)")
@@ -229,11 +206,12 @@ def main(argv=None):
     model, findings = run_analysis(args.root, config, args.frontend, cc)
 
     if args.update_baseline:
-        baseline.write_template(args.baseline, findings)
-        print(f"igs_semantic: baseline written to {args.baseline}")
+        baseline.write_template(args.baseline, findings, tool=TOOL_NAME)
+        print(f"igs_semantic: baseline section written to "
+              f"{args.baseline}")
         return 0
 
-    entries = baseline.load(args.baseline)
+    entries = baseline.load(args.baseline, tool=TOOL_NAME)
     baseline_rel = os.path.relpath(args.baseline, args.root)
     findings.extend(baseline.apply(findings, entries, baseline_rel))
 
@@ -263,9 +241,15 @@ def main(argv=None):
         print(f"igs_semantic: note: {note}", file=sys.stderr)
 
     n_files = len(model.files)
+    ps = getattr(model, "parse_stats", {})
+    pt = getattr(model, "pass_timings", {})
+    timing = ", ".join([f"parse {ps.get('seconds', 0)}s "
+                        f"({ps.get('jobs', 1)}j, "
+                        f"{ps.get('cache_hits', 0)} cached)"] +
+                       [f"{k} {v}s" for k, v in pt.items()])
     print(f"igs_semantic: {'FAIL' if gate else 'OK'} "
           f"({n_files} files, frontend={model.frontend}, "
-          f"{len(active)} finding(s), {len(gate)} gating)")
+          f"{len(active)} finding(s), {len(gate)} gating; {timing})")
     if not gate and active and args.diff_base:
         print("igs_semantic: non-gating findings above predate "
               "--diff-base; fix or baseline them in a follow-up")
