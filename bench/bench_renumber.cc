@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Locality-renumbering harness (DESIGN.md §16).  Replays two synthetic
+ * streams through RealTimeEngine with the vertex-id indirection layer and
+ * prices the resulting adjacency-row traffic in the Table-1 memory model
+ * (sim::RenumberMeter):
+ *
+ *  - "hub": hub-heavy traffic whose hot vertices are *scattered* across
+ *    the logical id space (the adversarial placement renumbering exists
+ *    for).  Run once with renumbering off and once with the ABR-style
+ *    threshold trigger on — the headline is the amortized modeled-cycle
+ *    win, renumber-pass cost included;
+ *  - "uniform": no hot set at all.  The trigger's skew gate must keep the
+ *    policy from ever firing (reordering uniform traffic only costs).
+ *
+ * Each batch is metered under the id map that was live while it was
+ * applied: accesses are replayed before `ingest` (a renumber happens at
+ * the ingest tail), and every renumber the engine performs charges
+ * charge_renumber_pass into the same meter, so the exported totals are an
+ * honest amortization account.
+ *
+ * Batch counts are pinned — IGS_BENCH_SCALE deliberately has no effect —
+ * so `--json` output is a deterministic function of the code and is used
+ * as a golden set (tests/golden/golden_renumber.json) in
+ * `ctest -L golden`.
+ *
+ * Usage: bench_renumber [--set=locality] [--json=<path>]
+ */
+#include "bench_support.h"
+
+#include <cstring>
+
+#include "common/random.h"
+#include "sim/renumber_meter.h"
+#include "stream/batch.h"
+
+namespace {
+
+using namespace igs;
+
+// Sized so the *scattered* hot set (plus the uniform tail's churn)
+// overflows the modeled private L2 while the *packed* hot set fits the
+// private levels — the regime where row placement moves modeled cycles.
+constexpr std::size_t kNumVertices = 65536;
+constexpr std::size_t kNumHubs = 16384;
+constexpr std::size_t kBatchSize = 8192;
+constexpr std::size_t kNumBatches = 24;
+constexpr double kHubBias = 0.9;
+
+/** One pinned replay. */
+struct Run {
+    const char* dataset; // "hub" | "uniform"
+    bool renumber;       // trigger policy on?
+};
+
+/** Meter + trigger activity of one replay. */
+struct RenumberResult {
+    core::RenumberStats engine;
+    sim::RenumberMeterStats meter;
+};
+
+/**
+ * Deterministic hub-id scatter: a SplitMix64-driven Fisher-Yates shuffle
+ * of the vertex space; the first kNumHubs entries are the hub ids.  The
+ * scatter is what renumbering undoes — consecutive hub *ranks* land on
+ * unrelated lines until hub-sort packs them.
+ */
+std::vector<VertexId>
+scattered_hubs()
+{
+    std::vector<VertexId> perm(kNumVertices);
+    for (std::size_t i = 0; i < kNumVertices; ++i) {
+        perm[i] = static_cast<VertexId>(i);
+    }
+    Rng rng(0x5ca77e12ed); // "scattered"
+    for (std::size_t i = kNumVertices - 1; i > 0; --i) {
+        std::swap(perm[i], perm[rng.below(i + 1)]);
+    }
+    perm.resize(kNumHubs);
+    return perm;
+}
+
+/** Draw one endpoint of a hub-heavy edge (skewed within the hub set). */
+VertexId
+hub_endpoint(Rng& rng, const std::vector<VertexId>& hubs)
+{
+    if (rng.chance(kHubBias)) {
+        // u^8 within-hub skew: a few thousand genuinely hot hubs, the
+        // concentration the monitor's skew gate requires before a
+        // renumber can pay off.
+        const double u = rng.uniform();
+        const double sq = u * u;
+        const double quad = sq * sq;
+        const auto idx = static_cast<std::size_t>(
+            quad * quad * static_cast<double>(kNumHubs));
+        return hubs[idx < kNumHubs ? idx : kNumHubs - 1];
+    }
+    return static_cast<VertexId>(rng.below(kNumVertices));
+}
+
+std::vector<StreamEdge>
+make_batch(const char* dataset, Rng& rng, const std::vector<VertexId>& hubs)
+{
+    std::vector<StreamEdge> edges;
+    edges.reserve(kBatchSize);
+    const bool hub_heavy = std::strcmp(dataset, "hub") == 0;
+    for (std::size_t i = 0; i < kBatchSize; ++i) {
+        StreamEdge e;
+        if (hub_heavy) {
+            e.src = hub_endpoint(rng, hubs);
+            e.dst = hub_endpoint(rng, hubs);
+        } else {
+            e.src = static_cast<VertexId>(rng.below(kNumVertices));
+            e.dst = static_cast<VertexId>(rng.below(kNumVertices));
+        }
+        e.weight = 1.0f;
+        edges.push_back(e);
+    }
+    return edges;
+}
+
+RenumberResult
+replay(const Run& run)
+{
+    core::EngineConfig cfg;
+    cfg.policy = core::UpdatePolicy::kBaseline;
+    cfg.renumber.enabled = run.renumber;
+    cfg.renumber.mode = graph::RenumberMode::kHubSort;
+    core::RealTimeEngine engine(cfg, kNumVertices);
+    sim::RenumberMeter meter;
+
+    const std::vector<VertexId> hubs = scattered_hubs();
+    Rng rng(0xb3ac4e5eedull + (std::strcmp(run.dataset, "hub") == 0 ? 0 : 1));
+
+    RenumberResult out;
+    std::uint64_t renumbers_seen = 0;
+    for (std::uint64_t k = 1; k <= kNumBatches; ++k) {
+        stream::EdgeBatch batch;
+        batch.id = k;
+        batch.set_edges(make_batch(run.dataset, rng, hubs));
+        // Meter the batch under the map that is live while it is applied:
+        // a triggered renumber runs at the *tail* of this ingest.
+        const graph::VertexIdMap& map = engine.graph().id_map();
+        for (const StreamEdge& e : batch.edges()) {
+            meter.access_row(map.to_physical(e.src), Direction::kOut);
+            meter.access_row(map.to_physical(e.dst), Direction::kIn);
+        }
+        engine.ingest(batch);
+        const core::RenumberStats& rs = engine.renumber_stats();
+        while (renumbers_seen < rs.renumbers) {
+            meter.charge_renumber_pass(kNumVertices);
+            ++renumbers_seen;
+        }
+    }
+    out.engine = engine.renumber_stats();
+    out.meter = meter.stats();
+    return out;
+}
+
+const std::vector<Run>&
+runs()
+{
+    static const std::vector<Run> kRuns = {
+        {"hub", false},
+        {"hub", true},
+        {"uniform", true},
+    };
+    return kRuns;
+}
+
+/**
+ * Dedicated exporter (same pattern as bench_pipeline_overlap): the
+ * renumber series is not part of the shared per-batch record shape in
+ * bench_support.h's JsonSink — the pre-renumber goldens keep their exact
+ * shape — so this bench serializes its own document with the same
+ * top-level schema (schema_version / experiment / host / streams /
+ * telemetry).
+ */
+void
+write_json(const std::string& path, const std::vector<Run>& rs,
+           const std::vector<RenumberResult>& results, const Timer& wall)
+{
+    telemetry::JsonWriter w(2);
+    w.begin_object();
+    w.kv("schema_version", bench::JsonSink::kSchemaVersion);
+    w.kv("experiment", "renumber");
+    w.key("host").begin_object();
+    w.kv("bench_scale", bench::bench_scale());
+    if (const char* e = std::getenv("IGS_BENCH_SCALE")) {
+        w.kv("bench_scale_env", e);
+    } else {
+        w.key("bench_scale_env").null();
+    }
+    w.kv("wall_seconds", wall.seconds());
+    w.end_object();
+    w.kv("set", "locality");
+    w.key("streams").begin_array();
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        const Run& r = rs[i];
+        const RenumberResult& res = results[i];
+        w.begin_object();
+        w.kv("dataset", r.dataset);
+        w.kv("renumber", r.renumber ? graph::to_string(
+                                          graph::RenumberMode::kHubSort)
+                                    : "off");
+        w.kv("batch_size", static_cast<std::uint64_t>(kBatchSize));
+        w.kv("num_batches", static_cast<std::uint64_t>(kNumBatches));
+        w.kv("renumbers", res.engine.renumbers);
+        w.kv("windows", res.engine.windows);
+        w.kv("locality_ewma", res.engine.locality_ewma);
+        w.kv("access_cycles",
+             static_cast<std::uint64_t>(res.meter.access_cycles));
+        w.kv("renumber_cycles",
+             static_cast<std::uint64_t>(res.meter.renumber_cycles));
+        w.kv("total_cycles",
+             static_cast<std::uint64_t>(res.meter.total_cycles()));
+        w.kv("l1_hits", res.meter.l1_hits);
+        w.kv("l2_hits", res.meter.l2_hits);
+        w.kv("l3_hits", res.meter.l3_hits);
+        w.kv("memory_fills", res.meter.memory_fills);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("telemetry").raw(telemetry::to_json(0));
+    w.end_object();
+
+    const std::string doc = w.take();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Timer wall;
+    std::string json_path;
+    const char* set_name = "locality";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
+        } else if (std::strncmp(argv[i], "--set=", 6) == 0) {
+            set_name = argv[i] + 6;
+        }
+    }
+    if (std::strcmp(set_name, "locality") != 0) {
+        std::fprintf(stderr,
+                     "usage: bench_renumber [--set=locality] "
+                     "[--json=<path>]\n");
+        return 2;
+    }
+
+    bench::banner("locality renumbering",
+                  "DESIGN.md §16 (input-aware renumbering; not a paper "
+                  "figure)",
+                  "amortized modeled cycles, renumber-pass cost included");
+    TextTable t({"dataset", "renumber", "passes", "ewma", "access Mcyc",
+                 "pass Mcyc", "total Mcyc"});
+    std::vector<RenumberResult> results;
+    results.reserve(runs().size());
+    for (const Run& r : runs()) {
+        const RenumberResult res = replay(r);
+        t.row()
+            .cell(std::string(r.dataset))
+            .cell(std::string(r.renumber ? "hub-sort" : "off"))
+            .cell(res.engine.renumbers)
+            .cell(res.engine.locality_ewma, 3)
+            .cell(1e-6 * static_cast<double>(res.meter.access_cycles))
+            .cell(1e-6 * static_cast<double>(res.meter.renumber_cycles))
+            .cell(1e-6 * static_cast<double>(res.meter.total_cycles()));
+        results.push_back(res);
+    }
+    t.print();
+
+    // Headline: amortized win on the hub-heavy stream, and the uniform
+    // stream's trigger silence.  Exported as sim.renumber.* gauges so the
+    // account is visible in every telemetry snapshot of this bench.
+    const auto hub_off =
+        static_cast<double>(results[0].meter.total_cycles());
+    const auto hub_on = static_cast<double>(results[1].meter.total_cycles());
+    sim::publish_renumber_headline(hub_off, hub_on,
+                                   results[2].engine.renumbers);
+    std::printf("\nhub-heavy amortized: off %.2f Mcyc -> on %.2f Mcyc "
+                "(%.2fx, renumber passes included)\n",
+                1e-6 * hub_off, 1e-6 * hub_on, hub_off / hub_on);
+    std::printf("uniform stream renumbers: %llu (skew gate; expected 0)\n",
+                static_cast<unsigned long long>(results[2].engine.renumbers));
+
+    if (!json_path.empty()) {
+        write_json(json_path, runs(), results, wall);
+    }
+    return 0;
+}

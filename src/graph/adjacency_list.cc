@@ -35,8 +35,9 @@ AdjacencyList::ensure_vertices(std::size_t n)
 ApplyResult
 AdjacencyList::apply_insert(VertexId v, Neighbor nbr, Direction dir)
 {
-    IGS_DCHECK(v < out_.size());
-    auto& edges = dir == Direction::kOut ? out_[v] : in_[v];
+    const VertexId p = map_.to_physical(v);
+    IGS_DCHECK(p < out_.size());
+    auto& edges = dir == Direction::kOut ? out_[p] : in_[p];
     ApplyResult r;
     r.len_before = static_cast<std::uint32_t>(edges.size());
     for (Neighbor& e : edges) {
@@ -59,8 +60,9 @@ AdjacencyList::apply_insert(VertexId v, Neighbor nbr, Direction dir)
 ApplyResult
 AdjacencyList::apply_remove(VertexId v, VertexId nbr_id, Direction dir)
 {
-    IGS_DCHECK(v < out_.size());
-    auto& edges = dir == Direction::kOut ? out_[v] : in_[v];
+    const VertexId p = map_.to_physical(v);
+    IGS_DCHECK(p < out_.size());
+    auto& edges = dir == Direction::kOut ? out_[p] : in_[p];
     ApplyResult r;
     r.len_before = static_cast<std::uint32_t>(edges.size());
     for (std::size_t i = 0; i < edges.size(); ++i) {
@@ -92,6 +94,27 @@ AdjacencyList::note_edges_removed(Direction dir, EdgeId n)
     if (dir == Direction::kOut) {
         num_edges_.fetch_sub(n, std::memory_order_relaxed);
     }
+}
+
+void
+AdjacencyList::apply_renumber(std::span<const VertexId> l2p)
+{
+    IGS_CHECK_MSG(l2p.size() == out_.size(),
+                  "apply_renumber: assignment must cover the vertex space");
+    const std::size_t n = out_.size();
+    // Move-permute the row containers; edge payloads (logical neighbor
+    // ids) and latest_bid (logical-indexed) are untouched, so the
+    // operation is O(n) row-header moves regardless of edge count.
+    std::vector<std::vector<Neighbor>> new_out(n);
+    std::vector<std::vector<Neighbor>> new_in(n);
+    for (std::size_t l = 0; l < n; ++l) {
+        const VertexId p_old = map_.to_physical(static_cast<VertexId>(l));
+        new_out[l2p[l]] = std::move(out_[p_old]);
+        new_in[l2p[l]] = std::move(in_[p_old]);
+    }
+    out_ = std::move(new_out);
+    in_ = std::move(new_in);
+    map_.rebind(l2p);
 }
 
 std::vector<Neighbor>

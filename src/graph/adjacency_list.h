@@ -31,6 +31,7 @@
 #include "common/spinlock.h"
 #include "common/types.h"
 #include "graph/dirty_set_view.h"
+#include "graph/vertex_id_map.h"
 
 namespace igs::graph {
 
@@ -62,11 +63,12 @@ class AdjacencyList {
           in_locks_(std::move(other.in_locks_)),
           latest_bid_(std::move(other.latest_bid_)),
           latest_bid_size_(other.latest_bid_size_),
-          epoch_(other.epoch_),
+          epoch_(other.epoch_), map_(std::move(other.map_)),
           num_edges_(other.num_edges_.exchange(0, std::memory_order_relaxed))
     {
         other.latest_bid_size_ = 0;
         other.epoch_ = 0;
+        other.map_.reset();
     }
 
     /**
@@ -102,19 +104,24 @@ class AdjacencyList {
      */
     ApplyResult apply_remove(VertexId v, VertexId nbr_id, Direction dir);
 
-    /** Per-vertex/per-direction lock for the baseline update path. */
+    /** Per-vertex/per-direction lock for the baseline update path.
+     *  Lock index follows row placement so lock and row agree under any
+     *  map; locks are stateless between batches, so a renumber (which
+     *  runs between batches) never needs to permute them. */
     Spinlock&
     lock(VertexId v, Direction dir)
     {
-        return dir == Direction::kOut ? out_locks_[v]
-                                      : in_locks_[v];
+        const VertexId p = map_.to_physical(v);
+        return dir == Direction::kOut ? out_locks_[p]
+                                      : in_locks_[p];
     }
 
     /** Degree of `v` in direction `dir`. */
     std::uint32_t
     degree(VertexId v, Direction dir) const
     {
-        const auto& e = dir == Direction::kOut ? out_[v] : in_[v];
+        const VertexId p = map_.to_physical(v);
+        const auto& e = dir == Direction::kOut ? out_[p] : in_[p];
         return static_cast<std::uint32_t>(e.size());
     }
 
@@ -122,7 +129,8 @@ class AdjacencyList {
     const std::vector<Neighbor>&
     edges(VertexId v, Direction dir) const
     {
-        return dir == Direction::kOut ? out_[v] : in_[v];
+        const VertexId p = map_.to_physical(v);
+        return dir == Direction::kOut ? out_[p] : in_[p];
     }
 
     /**
@@ -134,7 +142,8 @@ class AdjacencyList {
     std::vector<Neighbor>&
     edges_mut(VertexId v, Direction dir)
     {
-        return dir == Direction::kOut ? out_[v] : in_[v];
+        const VertexId p = map_.to_physical(v);
+        return dir == Direction::kOut ? out_[p] : in_[p];
     }
 
     /** Bookkeeping hooks for paths using `edges_mut` (out-direction only
@@ -189,6 +198,20 @@ class AdjacencyList {
         return DirtySetView<AdjacencyList>(*this, dirty);
     }
 
+    /**
+     * Re-place adjacency rows under a new logical->physical assignment
+     * (a permutation of [0, num_vertices()); see LocalityRenumberer).
+     * Rows are move-permuted — edge payloads (logical neighbor ids) are
+     * untouched, and `latest_bid` stays logical-indexed, so every public
+     * read is invariant under this call.  Single-threaded, between
+     * batches, like `ensure_vertices`.  Declared backend capability
+     * (tools/layers.toml [semantic.backends.AdjacencyList]).
+     */
+    void apply_renumber(std::span<const VertexId> l2p);
+
+    /** The logical/physical id map (identity until `apply_renumber`). */
+    const VertexIdMap& id_map() const { return map_; }
+
   private:
     std::vector<std::vector<Neighbor>> out_;
     std::vector<std::vector<Neighbor>> in_;
@@ -197,6 +220,7 @@ class AdjacencyList {
     std::unique_ptr<std::atomic<std::uint64_t>[]> latest_bid_;
     std::size_t latest_bid_size_ = 0;
     EpochId epoch_ = 0;
+    VertexIdMap map_;
     std::atomic<EdgeId> num_edges_{0};
 };
 

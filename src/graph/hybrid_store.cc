@@ -345,8 +345,9 @@ HybridStore::remove_from(HybridEdgeSet& set, VertexId nbr_id)
 ApplyResult
 HybridStore::apply_insert(VertexId v, Neighbor nbr, Direction dir)
 {
-    IGS_DCHECK(v < out_.size());
-    auto& set = dir == Direction::kOut ? out_[v] : in_[v];
+    const VertexId p = map_.to_physical(v);
+    IGS_DCHECK(p < out_.size());
+    auto& set = dir == Direction::kOut ? out_[p] : in_[p];
     const ApplyResult r = insert_into(set, nbr);
     if (!r.found && dir == Direction::kOut) {
         num_edges_.fetch_add(1, std::memory_order_relaxed);
@@ -357,8 +358,9 @@ HybridStore::apply_insert(VertexId v, Neighbor nbr, Direction dir)
 ApplyResult
 HybridStore::apply_remove(VertexId v, VertexId nbr_id, Direction dir)
 {
-    IGS_DCHECK(v < out_.size());
-    auto& set = dir == Direction::kOut ? out_[v] : in_[v];
+    const VertexId p = map_.to_physical(v);
+    IGS_DCHECK(p < out_.size());
+    auto& set = dir == Direction::kOut ? out_[p] : in_[p];
     const ApplyResult r = remove_from(set, nbr_id);
     if (r.found && dir == Direction::kOut) {
         num_edges_.fetch_sub(1, std::memory_order_relaxed);
@@ -369,8 +371,9 @@ HybridStore::apply_remove(VertexId v, VertexId nbr_id, Direction dir)
 std::size_t
 HybridStore::apply_coalesced(VertexId v, Direction dir, FlatWeightTable& table)
 {
-    IGS_DCHECK(v < out_.size());
-    auto& set = dir == Direction::kOut ? out_[v] : in_[v];
+    const VertexId p = map_.to_physical(v);
+    IGS_DCHECK(p < out_.size());
+    auto& set = dir == Direction::kOut ? out_[p] : in_[p];
     // Steps 2-3 (Fig 8): one scan of the edge data, draining table
     // entries that match existing edges (weight accumulates in place).
     for (Neighbor& n : set.view_mut()) {
@@ -393,6 +396,26 @@ HybridStore::apply_coalesced(VertexId v, Direction dir, FlatWeightTable& table)
         num_edges_.fetch_add(appended, std::memory_order_relaxed);
     }
     return appended;
+}
+
+void
+HybridStore::apply_renumber(std::span<const VertexId> l2p)
+{
+    IGS_CHECK_MSG(l2p.size() == out_.size(),
+                  "apply_renumber: assignment must cover the vertex space");
+    const std::size_t n = out_.size();
+    // Move-permute the per-vertex records; heap arrays and hash indexes
+    // travel with their HybridEdgeSet, and edge payloads stay logical.
+    std::vector<HybridEdgeSet> new_out(n);
+    std::vector<HybridEdgeSet> new_in(n);
+    for (std::size_t l = 0; l < n; ++l) {
+        const VertexId p_old = map_.to_physical(static_cast<VertexId>(l));
+        new_out[l2p[l]] = std::move(out_[p_old]);
+        new_in[l2p[l]] = std::move(in_[p_old]);
+    }
+    out_ = std::move(new_out);
+    in_ = std::move(new_in);
+    map_.rebind(l2p);
 }
 
 HybridStore::TierCensus

@@ -51,6 +51,7 @@
 #include "graph/dirty_set_view.h"
 #include "graph/graph_store.h"
 #include "graph/store_tuning.h"
+#include "graph/vertex_id_map.h"
 
 namespace igs::graph {
 
@@ -154,10 +155,12 @@ class HybridStore {
           latest_bid_(std::move(other.latest_bid_)),
           latest_bid_size_(other.latest_bid_size_),
           epoch_(other.epoch_), tuning_(other.tuning_),
+          map_(std::move(other.map_)),
           num_edges_(other.num_edges_.exchange(0, std::memory_order_relaxed))
     {
         other.latest_bid_size_ = 0;
         other.epoch_ = 0;
+        other.map_.reset();
     }
 
     HybridStore& operator=(HybridStore&&) = delete;
@@ -187,11 +190,13 @@ class HybridStore {
     std::size_t apply_coalesced(VertexId v, Direction dir,
                                 FlatWeightTable& table);
 
-    /** Per-vertex/per-direction lock for the baseline update path. */
+    /** Per-vertex/per-direction lock for the baseline update path.
+     *  Indexed by physical row like AdjacencyList::lock. */
     Spinlock&
     lock(VertexId v, Direction dir)
     {
-        return dir == Direction::kOut ? out_locks_[v] : in_locks_[v];
+        const VertexId p = map_.to_physical(v);
+        return dir == Direction::kOut ? out_locks_[p] : in_locks_[p];
     }
 
     std::uint32_t
@@ -210,7 +215,8 @@ class HybridStore {
     const HybridEdgeSet&
     edge_set(VertexId v, Direction dir) const
     {
-        return dir == Direction::kOut ? out_[v] : in_[v];
+        const VertexId p = map_.to_physical(v);
+        return dir == Direction::kOut ? out_[p] : in_[p];
     }
 
     /** Current representation tier of `v`'s `dir` edge set. */
@@ -253,6 +259,15 @@ class HybridStore {
     {
         return DirtySetView<HybridStore>(*this, dirty);
     }
+
+    /** See AdjacencyList::apply_renumber — move-permutes the per-vertex
+     *  HybridEdgeSet records (any tier; the heap arrays and hash indexes
+     *  travel with them).  Declared backend capability
+     *  (tools/layers.toml [semantic.backends.HybridStore]). */
+    void apply_renumber(std::span<const VertexId> l2p);
+
+    /** The logical/physical id map (identity until `apply_renumber`). */
+    const VertexIdMap& id_map() const { return map_; }
 
     /** Out-direction tier population (vertices per tier). */
     struct TierCensus {
@@ -310,6 +325,7 @@ class HybridStore {
     std::size_t latest_bid_size_ = 0;
     EpochId epoch_ = 0;
     StoreTuning tuning_;
+    VertexIdMap map_;
     std::atomic<EdgeId> num_edges_{0};
 };
 

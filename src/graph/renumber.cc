@@ -1,0 +1,129 @@
+#include "graph/renumber.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace igs::graph {
+
+const char*
+to_string(RenumberMode mode)
+{
+    switch (mode) {
+      case RenumberMode::kHubSort:
+        return "hub-sort";
+      case RenumberMode::kDegreeGroup:
+        return "degree-group";
+    }
+    return "?";
+}
+
+double
+LocalityMonitor::window_score(const VertexIdMap& map)
+{
+    if (touched_.empty() || accesses_ == 0) {
+        return 1.0;
+    }
+    // Hot set: the smallest count-descending prefix of touched vertices
+    // covering hot_coverage of the window's accesses.
+    std::sort(touched_.begin(), touched_.end(),
+              [this](VertexId a, VertexId b) {
+                  return counts_[a] != counts_[b] ? counts_[a] > counts_[b]
+                                                  : a < b;
+              });
+    const double want =
+        params_.hot_coverage * static_cast<double>(accesses_);
+    std::uint64_t covered = 0;
+    std::size_t hot = 0;
+    while (hot < touched_.size() && static_cast<double>(covered) < want) {
+        covered += counts_[touched_[hot]];
+        ++hot;
+    }
+    if (hot == 0) {
+        return 1.0;
+    }
+    // Skew gate: under a uniform histogram the hot set is simply
+    // hot_coverage of the distinct vertices, making this ratio 1.  A
+    // window must concentrate its accesses at least min_skew times
+    // tighter than that before layout can matter at all.
+    const double skew = params_.hot_coverage *
+                        static_cast<double>(touched_.size()) /
+                        static_cast<double>(hot);
+    if (skew < params_.min_skew) {
+        return 1.0;
+    }
+    // Placement density: how many distinct row-lines the hot set's
+    // *physical* placement spreads over, versus the minimum possible.
+    lines_scratch_.clear();
+    lines_scratch_.reserve(hot);
+    for (std::size_t i = 0; i < hot; ++i) {
+        lines_scratch_.push_back(map.to_physical(touched_[i]) /
+                                 params_.rows_per_line);
+    }
+    std::sort(lines_scratch_.begin(), lines_scratch_.end());
+    const std::size_t actual =
+        static_cast<std::size_t>(std::unique(lines_scratch_.begin(),
+                                             lines_scratch_.end()) -
+                                 lines_scratch_.begin());
+    const std::size_t min_lines =
+        (hot + params_.rows_per_line - 1) / params_.rows_per_line;
+    return static_cast<double>(min_lines) / static_cast<double>(actual);
+}
+
+double
+LocalityMonitor::end_window(const VertexIdMap& map)
+{
+    last_score_ = window_score(map);
+    if (capture_post_score_) {
+        post_renumber_score_ = last_score_;
+        capture_post_score_ = false;
+    }
+    for (VertexId v : touched_) {
+        counts_[v] = 0;
+    }
+    touched_.clear();
+    accesses_ = 0;
+    ewma_ = (1.0 - params_.ewma_alpha) * ewma_ +
+            params_.ewma_alpha * last_score_;
+    ++windows_;
+    if (windows_since_renumber_ != ~0ull) {
+        ++windows_since_renumber_;
+    }
+    return ewma_;
+}
+
+std::vector<VertexId>
+LocalityRenumberer::plan(std::span<const std::uint64_t> degrees,
+                         RenumberMode mode)
+{
+    const std::size_t n = degrees.size();
+    std::vector<VertexId> order(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        order[i] = static_cast<VertexId>(i);
+    }
+    if (mode == RenumberMode::kHubSort) {
+        std::sort(order.begin(), order.end(),
+                  [&](VertexId a, VertexId b) {
+                      return degrees[a] != degrees[b]
+                                 ? degrees[a] > degrees[b]
+                                 : a < b;
+                  });
+    } else {
+        // Degree-group: log2 buckets, hot buckets first; the sort is on
+        // (bucket desc, id asc), which is stable within a bucket by
+        // construction.
+        std::sort(order.begin(), order.end(),
+                  [&](VertexId a, VertexId b) {
+                      const int ba = std::bit_width(degrees[a]);
+                      const int bb = std::bit_width(degrees[b]);
+                      return ba != bb ? ba > bb : a < b;
+                  });
+    }
+    std::vector<VertexId> l2p(n);
+    for (std::size_t rank = 0; rank < n; ++rank) {
+        l2p[order[rank]] = static_cast<VertexId>(rank);
+    }
+    return l2p;
+}
+
+} // namespace igs::graph

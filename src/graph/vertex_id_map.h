@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Logical/physical vertex-id indirection (DESIGN.md §16).
+ *
+ * Every id that crosses a backend's public API — stream edges, analytics
+ * queries, snapshot publication, dirty sets — is a *logical* id: stable
+ * for the lifetime of the graph.  Where a vertex's adjacency rows live in
+ * the backing arrays is a *physical* id, and the @ref VertexIdMap owns
+ * the bijection between the two.  Backends translate exactly once, at
+ * the public API boundary; neighbor ids stored inside edge arrays stay
+ * logical, so renumbering never rewrites edge payloads — it only
+ * move-permutes whole rows.
+ *
+ * The map starts disabled (identity): `to_physical` is one predictable
+ * branch and no table load, so the fast path of a never-renumbered run
+ * is unchanged — all pre-refactor goldens stay bit-identical.  After a
+ * @ref rebind the table covers the vertex space at rebind time; logical
+ * ids past the table (vertex growth after a renumber) fall through to
+ * identity, which is always unoccupied because the bound table is a
+ * permutation of the smaller prefix.
+ */
+#ifndef IGS_GRAPH_VERTEX_ID_MAP_H
+#define IGS_GRAPH_VERTEX_ID_MAP_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace igs::graph {
+
+/** Bijection logical id <-> physical row index, identity until rebound. */
+class VertexIdMap {
+  public:
+    /** True after the first `rebind` (the identity default never is). */
+    bool enabled() const { return enabled_; }
+
+    /** Vertex-space size covered by the bound table (0 when identity). */
+    std::size_t size() const { return to_phys_.size(); }
+
+    /** Physical row index of logical vertex `v`.  Identity when the map
+     *  is disabled or `v` outgrew the bound table. */
+    VertexId
+    to_physical(VertexId v) const
+    {
+        return enabled_ && v < to_phys_.size() ? to_phys_[v] : v;
+    }
+
+    /** Logical id occupying physical row `p` (inverse of to_physical). */
+    VertexId
+    to_logical(VertexId p) const
+    {
+        return enabled_ && p < to_log_.size() ? to_log_[p] : p;
+    }
+
+    /**
+     * Bind a new logical->physical assignment.  `l2p` must be a
+     * permutation of [0, l2p.size()); debug builds verify.  The caller
+     * (a backend's `apply_renumber`) permutes its rows with the same
+     * table in the same call, so map and storage can never disagree.
+     */
+    void
+    rebind(std::span<const VertexId> l2p)
+    {
+        const std::size_t n = l2p.size();
+        to_phys_.assign(l2p.begin(), l2p.end());
+        to_log_.assign(n, kInvalidVertex);
+        for (std::size_t l = 0; l < n; ++l) {
+            IGS_DCHECK(l2p[l] < n);
+            IGS_DCHECK(to_log_[l2p[l]] == kInvalidVertex);
+            to_log_[l2p[l]] = static_cast<VertexId>(l);
+        }
+        enabled_ = true;
+    }
+
+    /** Drop back to the identity map (tests / reset). */
+    void
+    reset()
+    {
+        enabled_ = false;
+        to_phys_.clear();
+        to_log_.clear();
+    }
+
+    /** True when the bound table maps every id to itself (an enabled
+     *  identity map must behave indistinguishably from a disabled one). */
+    bool
+    is_identity() const
+    {
+        if (!enabled_) {
+            return true;
+        }
+        for (std::size_t l = 0; l < to_phys_.size(); ++l) {
+            if (to_phys_[l] != l) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    std::vector<VertexId> to_phys_;
+    std::vector<VertexId> to_log_;
+    bool enabled_ = false;
+};
+
+} // namespace igs::graph
+
+#endif // IGS_GRAPH_VERTEX_ID_MAP_H

@@ -1,0 +1,131 @@
+#include "sim/renumber_meter.h"
+
+#include "common/telemetry.h"
+
+namespace igs::sim {
+
+namespace {
+
+/** Request-message size for a remote line fetch (address + header). */
+constexpr std::uint32_t kReqBytes = 8;
+
+} // namespace
+
+RenumberMeter::RenumberMeter(const MachineParams& machine,
+                             std::uint32_t rows_per_line)
+    : machine_(machine), rows_per_line_(rows_per_line),
+      private_caches_(machine), noc_(machine)
+{
+    IGS_CHECK_MSG(rows_per_line_ > 0, "rows_per_line must be positive");
+    l3_slices_.reserve(machine_.num_cores);
+    for (std::uint32_t c = 0; c < machine_.num_cores; ++c) {
+        l3_slices_.emplace_back(machine_.l3_slice_bytes, machine_.l3_ways,
+                                machine_.line_bytes);
+    }
+}
+
+LineAddr
+RenumberMeter::row_line(VertexId phys, Direction dir) const
+{
+    // Disjoint regions per direction array (bit 48 is far above any line
+    // index a 32-bit vertex space can produce).
+    const LineAddr base = static_cast<LineAddr>(phys) / rows_per_line_;
+    return base | (dir == Direction::kIn ? (1ull << 48) : 0ull);
+}
+
+Cycles
+RenumberMeter::access_row(VertexId phys, Direction dir)
+{
+    const LineAddr line = row_line(phys, dir);
+    ++stats_.accesses;
+    Cycles latency = 0;
+    if (private_caches_.hit_l1(line)) {
+        ++stats_.l1_hits;
+        latency = machine_.l1_latency;
+    } else if (private_caches_.hit_l2(line)) {
+        ++stats_.l2_hits;
+        private_caches_.fill_private(line);
+        latency = machine_.l1_latency + machine_.l2_latency;
+    } else {
+        // L3 resolution: the line is homed at a slice by address; a remote
+        // home pays the request/response NoC round trip.
+        const auto home =
+            static_cast<std::uint32_t>(line % machine_.num_cores);
+        latency = machine_.l1_latency + machine_.l2_latency +
+                  machine_.l3_bank_latency;
+        if (home != 0) {
+            latency += noc_.send(0, home, kReqBytes, PacketClass::kData,
+                                 now_);
+            latency += noc_.send(home, 0, machine_.line_bytes,
+                                 PacketClass::kData, now_);
+        }
+        Cache& slice = l3_slices_[home];
+        if (slice.lookup(line)) {
+            ++stats_.l3_hits;
+        } else {
+            ++stats_.memory_fills;
+            latency += machine_.dram_device_latency;
+            slice.fill(line);
+        }
+        private_caches_.fill_private(line);
+    }
+    now_ += latency;
+    stats_.access_cycles += latency;
+    return latency;
+}
+
+Cycles
+RenumberMeter::charge_renumber_pass(std::size_t num_vertices)
+{
+    // Streaming read (old placement) + write (new placement) of every row
+    // header of both direction arrays — bandwidth-bound, so charged at the
+    // aggregate DRAM rate — plus one cycle of scatter bookkeeping per row
+    // moved.
+    const std::uint64_t lines_per_dir =
+        (num_vertices + rows_per_line_ - 1) / rows_per_line_;
+    const double bytes = 2.0 /*read+write*/ * 2.0 /*out+in*/ *
+                         static_cast<double>(lines_per_dir) *
+                         machine_.line_bytes;
+    const double bytes_per_cycle = machine_.dram_controllers *
+                                   machine_.dram_gbps_per_controller /
+                                   machine_.ghz;
+    const auto pass =
+        static_cast<Cycles>(bytes / bytes_per_cycle) +
+        static_cast<Cycles>(2 * num_vertices);
+    // The permute rewrote every row line: the private caches are cold
+    // afterwards (the streaming pass evicted everything), but the pass's
+    // *writes* leave the whole row region resident in the shared L3 —
+    // write-allocate at the lines' home slices.
+    private_caches_ = CoreCacheHierarchy(machine_);
+    for (Cache& slice : l3_slices_) {
+        slice = Cache(machine_.l3_slice_bytes, machine_.l3_ways,
+                      machine_.line_bytes);
+    }
+    for (Direction dir : {Direction::kOut, Direction::kIn}) {
+        for (std::uint64_t i = 0; i < lines_per_dir; ++i) {
+            const LineAddr line =
+                row_line(static_cast<VertexId>(i * rows_per_line_), dir);
+            l3_slices_[line % machine_.num_cores].fill(line);
+        }
+    }
+    now_ += pass;
+    stats_.renumber_cycles += pass;
+    ++stats_.renumber_passes;
+    return pass;
+}
+
+void
+publish_renumber_headline(double hub_off_total_cycles,
+                          double hub_on_total_cycles,
+                          std::uint64_t uniform_renumbers)
+{
+    auto& r = telemetry::Registry::global();
+    r.gauge("sim.renumber.hub_off_total_cycles").set(hub_off_total_cycles);
+    r.gauge("sim.renumber.hub_on_total_cycles").set(hub_on_total_cycles);
+    r.gauge("sim.renumber.hub_amortized_saved_cycles")
+        .set(hub_off_total_cycles - hub_on_total_cycles);
+    r.gauge("sim.renumber.uniform_renumbers")
+        .set(static_cast<double>(uniform_renumbers));
+}
+
+} // namespace igs::sim

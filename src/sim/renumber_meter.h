@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Cache/NoC cost meter for locality renumbering (DESIGN.md §16).
+ *
+ * Replays the update phase's adjacency-row-header traffic through the
+ * Table-1 memory model: one private L1/L2 hierarchy for the accessing
+ * core, L3 slices homed round-robin across the mesh, and NoC round trips
+ * for remote lines.  The caller feeds *physical* row placements (the
+ * backend's `id_map().to_physical(v)`), so the same access stream is
+ * priced under the identity layout and under a renumbered layout.
+ *
+ * A renumber pass itself is metered too (@ref charge_renumber_pass):
+ * a bandwidth-bound streaming read+write of every row header of both
+ * direction arrays, plus per-row scatter bookkeeping, after which the
+ * caches are cold (the permute rewrote every line).  bench_renumber's
+ * amortization accounting — is the layout win worth the pass? — is the
+ * sum of both terms, fully deterministic and therefore goldenable.
+ */
+#ifndef IGS_SIM_RENUMBER_METER_H
+#define IGS_SIM_RENUMBER_METER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/cache.h"
+#include "sim/machine.h"
+#include "sim/noc.h"
+
+namespace igs::sim {
+
+/** Accumulated meter state (all cycle terms are modeled, not wall). */
+struct RenumberMeterStats {
+    /** Cycles charged to row-header accesses. */
+    Cycles access_cycles = 0;
+    /** Cycles charged to renumber passes. */
+    Cycles renumber_cycles = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t l1_hits = 0;
+    std::uint64_t l2_hits = 0;
+    std::uint64_t l3_hits = 0;
+    std::uint64_t memory_fills = 0;
+    std::uint64_t renumber_passes = 0;
+
+    /** The amortized total the trigger policy is judged on. */
+    Cycles total_cycles() const { return access_cycles + renumber_cycles; }
+};
+
+/** Deterministic row-header traffic meter (see file comment). */
+class RenumberMeter {
+  public:
+    explicit RenumberMeter(const MachineParams& machine = {},
+                           std::uint32_t rows_per_line = 8);
+
+    /**
+     * Model one adjacency-row-header touch at physical row `phys` of the
+     * `dir` array; returns the charged latency.  The out- and in-arrays
+     * occupy disjoint address regions, as in the real stores.
+     */
+    Cycles access_row(VertexId phys, Direction dir);
+
+    /**
+     * Charge one renumber pass over `num_vertices` rows (both direction
+     * arrays, read+write) and cold the caches; returns the pass cost.
+     */
+    Cycles charge_renumber_pass(std::size_t num_vertices);
+
+    const RenumberMeterStats& stats() const { return stats_; }
+    const NocModel& noc() const { return noc_; }
+
+  private:
+    LineAddr row_line(VertexId phys, Direction dir) const;
+
+    MachineParams machine_;
+    std::uint32_t rows_per_line_;
+    CoreCacheHierarchy private_caches_;
+    std::vector<Cache> l3_slices_;
+    NocModel noc_;
+    Cycles now_ = 0;
+    RenumberMeterStats stats_;
+};
+
+/**
+ * Export the amortization headline as sim.renumber.* gauges:
+ * hub-heavy total cycles with the trigger off vs on (pass cost
+ * included), the saved difference, and the uniform stream's renumber
+ * count (the skew gate's expected-zero).  Lives here — not in the
+ * bench — so the key registration site is in src/ where the telemetry
+ * contract checker audits it.
+ */
+void publish_renumber_headline(double hub_off_total_cycles,
+                               double hub_on_total_cycles,
+                               std::uint64_t uniform_renumbers);
+
+} // namespace igs::sim
+
+#endif // IGS_SIM_RENUMBER_METER_H

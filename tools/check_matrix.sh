@@ -15,6 +15,10 @@
 #         equivalence harness and the depth>=2 dirty-set isolation test
 #         (memoized kernel state vs the published snapshot's dirty set,
 #         DESIGN.md §14) repeated until-fail; shares the tsan build tree
+#   tsan-renumber  focused TSan deep-run of the vertex-id indirection /
+#         locality-renumbering suite (renumber at the ingest tail vs the
+#         depth>=2 compute stage reading published snapshots, DESIGN.md
+#         §16) repeated until-fail; shares the tsan build tree
 #   tsa   clang -Wthread-safety as errors (-DIGS_THREAD_SAFETY=ON);
 #         compile-only analysis, then the plain test suite.
 #         Skipped (with a notice) when no clang++ is on PATH — the
@@ -32,7 +36,7 @@
 #
 # Usage:  tools/check_matrix.sh [leg ...]
 #         (default: lint analyze semantic dataflow asan asan-hybrid tsan
-#          tsan-pipeline tsan-hybrid tsan-incremental tsa)
+#          tsan-pipeline tsan-hybrid tsan-incremental tsan-renumber tsa)
 #
 # Each leg builds in its own tree (build-check-<leg>) with
 # CMAKE_BUILD_TYPE=Debug so IGS_DCHECK and the Spinlock owner assertions
@@ -45,7 +49,7 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
     LEGS=(lint analyze semantic dataflow asan asan-hybrid tsan
-          tsan-pipeline tsan-hybrid tsan-incremental tsa)
+          tsan-pipeline tsan-hybrid tsan-incremental tsan-renumber tsa)
 fi
 
 # TSan suppressions: intentionally empty unless a race is provably benign
@@ -187,6 +191,17 @@ for leg in "${LEGS[@]}"; do
         run_leg tsan-incremental -DIGS_SANITIZE=thread
         unset IGS_CHECK_BDIR CTEST_EXTRA
         ;;
+      tsan-renumber)
+        # Focused TSan deep-run of the renumber suite: the engine applies
+        # a renumber (live-row move-permute + map rebind) at the ingest
+        # tail while the depth>=2 compute stage reads published snapshot
+        # copies, so these schedules are the racy-by-construction ones.
+        # Reuses the tsan tree.
+        IGS_CHECK_BDIR="$ROOT/build-check-tsan"
+        CTEST_EXTRA=(-R 'Renumber' --repeat until-fail:3)
+        run_leg tsan-renumber -DIGS_SANITIZE=thread
+        unset IGS_CHECK_BDIR CTEST_EXTRA
+        ;;
       tsa)
         if command -v clang++ >/dev/null 2>&1; then
             CC=clang CXX=clang++ run_leg tsa -DIGS_THREAD_SAFETY=ON \
@@ -200,7 +215,7 @@ for leg in "${LEGS[@]}"; do
       *)
         echo "unknown leg: $leg (known: lint analyze semantic dataflow" \
              "asan asan-hybrid tsan tsan-pipeline tsan-hybrid" \
-             "tsan-incremental tsa)" >&2
+             "tsan-incremental tsan-renumber tsa)" >&2
         FAILED+=("$leg (unknown)")
         ;;
     esac

@@ -95,11 +95,13 @@ def diff(golden, candidate, path="", out=None):
             else:
                 diff(golden[k], candidate[k], sub, out)
     elif isinstance(golden, list):
-        if len(golden) != len(candidate):
-            out.append(f"{path}: length {len(golden)} vs {len(candidate)}")
-            return out
+        # Diff the common prefix before reporting a length mismatch, so one
+        # dropped/added element doesn't mask every other defect: the caller
+        # gets all mismatched keys in a single run.
         for i, (g, c) in enumerate(zip(golden, candidate)):
             diff(g, c, f"{path}[{i}]", out)
+        if len(golden) != len(candidate):
+            out.append(f"{path}: length {len(golden)} vs {len(candidate)}")
     else:
         if not _values_match(action, golden, candidate):
             out.append(f"{path}: {golden!r} vs {candidate!r}")
@@ -195,6 +197,16 @@ def self_test():
     bad = json.loads(json.dumps(golden))
     del bad["streams"][0]["batches"][0]
     assert diff(golden, bad) == ["streams[0].batches: length 1 vs 0"]
+
+    # A length mismatch no longer masks element mismatches: the common
+    # prefix is still diffed, so every defect surfaces in one run.
+    bad = json.loads(json.dumps(golden))
+    bad["streams"][0]["batches"][0]["update_cycles"] = 7
+    bad["streams"][0]["batches"].append({"id": 2})
+    d = diff(golden, bad)
+    assert "streams[0].batches[0].update_cycles: 100 vs 7" in d, d
+    assert "streams[0].batches: length 1 vs 2" in d, d
+    assert len(d) == 2, d
 
     # A candidate carrying the newer bench_scale_env metadata key diffs
     # clean against an older golden that predates it.
